@@ -1,0 +1,5 @@
+"""Benchmark + reproduction of EXP-CMB (split + under-reporting ablation)."""
+
+
+def bench_combined(benchmark, run_and_report):
+    run_and_report(benchmark, "EXP-CMB")

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the core machinery.
+
+These time the primitives every experiment is built from: the parametric
+bottleneck decomposition (float and exact), the BD allocation, one best
+response, and the vectorized dynamics -- at sizes bracketing the experiment
+sweeps, so harness-cost regressions show up here first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import best_split
+from repro.core import bd_allocation, bottleneck_decomposition, proportional_response
+from repro.flow import FlowNetwork, dinic_max_flow, edmonds_karp_max_flow, push_relabel_max_flow
+from repro.graphs import random_ring
+from repro.numeric import EXACT, FLOAT
+
+
+def _ring(n: int, seed: int = 0):
+    return random_ring(n, np.random.default_rng(seed), "loguniform", 0.1, 10)
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def bench_decomposition_float(benchmark, n):
+    g = _ring(n)
+    d = benchmark(bottleneck_decomposition, g, FLOAT)
+    assert d.k >= 1
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def bench_decomposition_exact(benchmark, n):
+    g = random_ring(n, np.random.default_rng(0), "integer", 1, 100)
+    d = benchmark(bottleneck_decomposition, g, EXACT)
+    assert d.k >= 1
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def bench_allocation(benchmark, n):
+    g = _ring(n)
+    d = bottleneck_decomposition(g, FLOAT)
+    alloc = benchmark(bd_allocation, g, d, FLOAT)
+    assert len(alloc.utilities) == n
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def bench_dynamics(benchmark, n):
+    # mixing on a ring is diffusive (~n^2 steps), so the budget scales with n
+    g = random_ring(n, np.random.default_rng(1), "uniform", 0.5, 2.0)
+    res = benchmark(proportional_response, g, 40 * n * n, 1e-8, 0.3)
+    assert res.converged
+
+
+@pytest.mark.parametrize("n", [6, 12])
+def bench_best_response(benchmark, n):
+    g = _ring(n, seed=2)
+    r = benchmark(best_split, g, 0, 24)
+    assert r.ratio <= 2.0 + 1e-6
+
+
+def _bipartite_net(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    net = FlowNetwork(2 + 2 * n)
+    for i in range(n):
+        net.add_edge(0, 2 + i, float(rng.uniform(0.5, 2)))
+        net.add_edge(2 + n + i, 1, float(rng.uniform(0.5, 2)))
+        for j in range(n):
+            if rng.random() < 0.2:
+                net.add_edge(2 + i, 2 + n + j, float("inf"))
+    return net
+
+
+@pytest.mark.parametrize("solver", [dinic_max_flow, edmonds_karp_max_flow, push_relabel_max_flow],
+                         ids=["dinic", "edmonds-karp", "push-relabel"])
+def bench_maxflow_solvers(benchmark, solver):
+    base = _bipartite_net(40)
+
+    def solve():
+        net = base.clone()
+        return solver(net, 0, 1)
+
+    value = benchmark(solve)
+    assert value >= 0

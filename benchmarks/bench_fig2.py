@@ -1,0 +1,9 @@
+"""Benchmark + reproduction of EXP-F2 (Fig. 2 alpha curves).
+
+Times the full experiment harness at smoke scale and asserts its internal
+shape checks; see EXPERIMENTS.md for the recorded default-scale numbers.
+"""
+
+
+def bench_fig2(benchmark, run_and_report):
+    run_and_report(benchmark, "EXP-F2")

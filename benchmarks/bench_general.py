@@ -1,0 +1,8 @@
+"""Benchmark + reproduction of EXP-GEN (general-graph conjecture).
+
+Times the conjecture sweep at smoke scale and asserts its shape checks.
+"""
+
+
+def bench_general(benchmark, run_and_report):
+    run_and_report(benchmark, "EXP-GEN")

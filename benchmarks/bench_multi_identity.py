@@ -1,0 +1,5 @@
+"""Benchmark + reproduction of EXP-MSP (multi-identity ablation)."""
+
+
+def bench_multi_identity(benchmark, run_and_report):
+    run_and_report(benchmark, "EXP-MSP")

@@ -1,0 +1,5 @@
+"""Benchmark + reproduction of EXP-SPC (spectral convergence ablation)."""
+
+
+def bench_spectral(benchmark, run_and_report):
+    run_and_report(benchmark, "EXP-SPC")

@@ -1,0 +1,9 @@
+"""Benchmark + reproduction of EXP-T10 (Theorem 10 truthfulness).
+
+Times the full experiment harness at smoke scale and asserts its internal
+shape checks; see EXPERIMENTS.md for the recorded default-scale numbers.
+"""
+
+
+def bench_truthfulness(benchmark, run_and_report):
+    run_and_report(benchmark, "EXP-T10")

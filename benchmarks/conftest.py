@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_<exp>.py`` regenerates one paper artifact: it runs the
+experiment through ``pytest-benchmark`` (timing the harness), prints the
+reproduced rows (run with ``-s`` to see them), and asserts the experiment's
+internal shape checks -- so ``pytest benchmarks/ --benchmark-only`` is both
+a performance record and a reproduction certificate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_and_report():
+    """Run one experiment under the benchmark timer and report it."""
+
+    def _run(benchmark, exp_id: str, scale: str = "smoke", seed: int = 0):
+        out = benchmark.pedantic(
+            lambda: run_experiment(exp_id, seed=seed, scale=scale),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(out.render())
+        failed = [c for c in out.checks if not c.ok]
+        assert not failed, "; ".join(f"{c.name}: {c.details}" for c in failed)
+        return out
+
+    return _run

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Convergence behaviour of proportional response across ring parities.
+
+Even rings are bipartite, and the raw tit-for-tat update can fall into a
+2-cycle whose two orbit points straddle the equilibrium; odd rings mix.
+This example measures iterations-to-convergence for the raw and damped
+updates over a range of sizes, demonstrating why the simulator offers the
+damped mode (and that both agree with the BD allocation in the end).
+
+Run:  python examples/dynamics_convergence.py
+"""
+
+import numpy as np
+
+from repro import FLOAT, bd_allocation, proportional_response
+from repro.graphs import random_ring
+from repro.io import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    rows = []
+    for n in (3, 4, 5, 8, 9, 16, 17, 32):
+        g = random_ring(n, rng, "uniform", 0.5, 4.0)
+        raw = proportional_response(g, max_iters=120_000, tol=1e-11)
+        damped = proportional_response(g, max_iters=120_000, tol=1e-11, damping=0.3)
+        alloc = bd_allocation(g, backend=FLOAT)
+        err = max(abs(damped.utility_of(v) - float(alloc.utilities[v]))
+                  for v in g.vertices())
+        rows.append([
+            n, "even" if n % 2 == 0 else "odd",
+            raw.iterations,
+            "2-cycle" if raw.oscillating else ("yes" if raw.converged else "no"),
+            damped.iterations,
+            err,
+        ])
+    print(format_table(
+        ["n", "parity", "raw iters", "raw converged", "damped iters", "max |U - eq.(2)|"],
+        rows, title="proportional response convergence (tol 1e-11)"))
+    print("\ntakeaway: damping (beta = 0.3) converges everywhere; the raw update")
+    print("matches it on odd rings and may 2-cycle on even (bipartite) rings,")
+    print("with the orbit average still on the equilibrium.")
+
+
+if __name__ == "__main__":
+    main()

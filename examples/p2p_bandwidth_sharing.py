@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""P2P bandwidth sharing a la BitTorrent: tit-for-tat on a swarm graph.
+
+The motivation of the paper's Section I: peers contribute upload bandwidth
+and the proportional response protocol rewards contribution.  This example
+builds a random swarm (general graph, not just a ring), runs the
+distributed protocol, and shows
+
+* equilibrium download rates match the BD allocation exactly,
+* rewards scale with contribution: a free-rider (tiny weight) earns almost
+  nothing while a seeder (large weight) earns proportionally,
+* the closed form U_v = w_v * alpha or w_v / alpha of Proposition 6.
+
+Run:  python examples/p2p_bandwidth_sharing.py
+"""
+
+import numpy as np
+
+from repro import FLOAT, bd_allocation, bottleneck_decomposition, proportional_response
+from repro.graphs import random_connected_graph
+from repro.io import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 12
+    swarm = random_connected_graph(n, extra_edges=10, rng=rng,
+                                   distribution="uniform", low=1.0, high=8.0)
+    # plant a free-rider and a seeder
+    weights = list(swarm.weights)
+    weights[0] = 0.05   # free-rider: barely uploads
+    weights[1] = 40.0   # seeder: uploads massively
+    swarm = swarm.with_weights(weights)
+
+    print(f"swarm: {swarm.n} peers, {swarm.m} connections")
+    decomp = bottleneck_decomposition(swarm, FLOAT)
+    alloc = bd_allocation(swarm, decomp, FLOAT)
+    res = proportional_response(swarm, tol=1e-12, damping=0.3, max_iters=200_000)
+
+    rows = []
+    for v in swarm.vertices():
+        role = {0: "free-rider", 1: "seeder"}.get(v, "peer")
+        rows.append([
+            f"peer{v} ({role})",
+            float(swarm.weights[v]),
+            float(decomp.alpha_of(v)),
+            "B" if decomp.in_B(v) and not decomp.in_C(v)
+            else ("C" if decomp.in_C(v) and not decomp.in_B(v) else "B+C"),
+            float(alloc.utilities[v]),
+            res.utility_of(v),
+        ])
+    print(format_table(
+        ["peer", "upload w_v", "alpha_v", "class", "download (mechanism)", "download (protocol)"],
+        rows, title="\nequilibrium download rates"))
+
+    fr, seed_u = float(alloc.utilities[0]), float(alloc.utilities[1])
+    print(f"\nfree-rider downloads {fr:.4f} for uploading {weights[0]}")
+    print(f"seeder     downloads {seed_u:.4f} for uploading {weights[1]}")
+    print("tit-for-tat at work: reward is proportional to contribution within a pair"
+          f" (ratio {seed_u / max(fr, 1e-12):.1f}x)")
+
+    drift = max(abs(res.utility_of(v) - float(alloc.utilities[v])) for v in swarm.vertices())
+    print(f"\nprotocol vs mechanism max drift: {drift:.2e} "
+          f"(converged in {res.iterations} rounds)")
+
+
+if __name__ == "__main__":
+    main()

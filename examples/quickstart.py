@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the resource-sharing pipeline end to end.
+
+Builds a small weighted ring, computes its bottleneck decomposition and the
+BD allocation (the fixed point of BitTorrent-style proportional response),
+simulates the distributed dynamics, and confirms both give every agent the
+same equilibrium utility.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EXACT, FLOAT, bd_allocation, bottleneck_decomposition, proportional_response, ring
+from repro.core import closed_form_utilities
+from repro.io import format_table
+
+
+def main() -> None:
+    # a 6-agent ring; weights are upload capacities agents bring to the swarm
+    g = ring([4, 1, 2, 8, 3, 1], labels=[f"peer{i}" for i in range(6)])
+    print(f"ring with weights {list(g.weights)}\n")
+
+    # 1. the combinatorial structure: bottleneck decomposition (Definition 2)
+    decomp = bottleneck_decomposition(g, EXACT)
+    rows = [
+        [p.index,
+         "{" + ", ".join(g.labels[v] for v in sorted(p.B)) + "}",
+         "{" + ", ".join(g.labels[v] for v in sorted(p.C)) + "}",
+         float(p.alpha)]
+        for p in decomp.pairs
+    ]
+    print(format_table(["i", "B_i", "C_i", "alpha_i"], rows,
+                       title="Bottleneck decomposition"))
+    print()
+
+    # 2. the equilibrium allocation (Definition 5) and utilities (Prop. 6)
+    alloc = bd_allocation(g, decomp, EXACT)
+    closed = closed_form_utilities(decomp)
+    rows = [
+        [g.labels[v], float(g.weights[v]), float(alloc.utilities[v]), float(closed[v])]
+        for v in g.vertices()
+    ]
+    print(format_table(["agent", "w_v", "U_v (allocation)", "U_v (closed form)"], rows,
+                       title="Equilibrium utilities"))
+    print()
+
+    # 3. the distributed protocol converges to the same point (Definition 1)
+    gf = g.with_weights([float(w) for w in g.weights])
+    res = proportional_response(gf, tol=1e-12, damping=0.3)
+    rows = [
+        [g.labels[v], res.utility_of(v), float(alloc.utilities[v]),
+         abs(res.utility_of(v) - float(alloc.utilities[v]))]
+        for v in g.vertices()
+    ]
+    print(format_table(["agent", "dynamics U_v", "mechanism U_v", "|diff|"], rows,
+                       title=f"Proportional response after {res.iterations} iterations"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `setup.py develop` works in offline environments
+where the `wheel` package (needed by PEP 660 editable installs) is absent."""
+from setuptools import setup
+
+setup()

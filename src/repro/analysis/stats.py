@@ -1,0 +1,53 @@
+"""Small statistics helpers shared by experiments (no pandas dependency)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "geometric_mean", "censored_max"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_row(self) -> list[float]:
+        return [self.n, self.mean, self.std, self.minimum, self.median, self.maximum]
+
+
+def summarize(xs: Sequence[float]) -> Summary:
+    a = np.asarray(list(xs), dtype=np.float64)
+    if a.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(a.size),
+        mean=float(a.mean()),
+        std=float(a.std(ddof=1)) if a.size > 1 else 0.0,
+        minimum=float(a.min()),
+        median=float(np.median(a)),
+        maximum=float(a.max()),
+    )
+
+
+def geometric_mean(xs: Sequence[float]) -> float:
+    a = np.asarray(list(xs), dtype=np.float64)
+    if np.any(a <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(a))))
+
+
+def censored_max(xs: Sequence[float], ceiling: float) -> tuple[float, int]:
+    """Max of a sample plus the count of entries exceeding a ceiling --
+    the Theorem 8 experiments report (max zeta, #violations of 2)."""
+    a = np.asarray(list(xs), dtype=np.float64)
+    return float(a.max()), int(np.sum(a > ceiling))

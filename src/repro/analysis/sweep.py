@@ -1,0 +1,67 @@
+"""Parameter sweep scaffolding for the experiment suite.
+
+Sweeps are grids of (instance-family x size x distribution) cells; each
+cell seeds its own RNG from the sweep seed + cell coordinates so cells are
+independently reproducible and can be re-run in isolation -- the same
+discipline mpi4py-style workloads use for per-rank seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SweepCell", "SweepResult", "run_sweep", "cell_rng"]
+
+
+def cell_rng(seed: int, *coords) -> np.random.Generator:
+    """Deterministic per-cell generator: hash the coordinates into the seed
+    sequence so neighboring cells do not share streams."""
+    return np.random.default_rng(np.random.SeedSequence([seed, *[hash(c) & 0x7FFFFFFF for c in coords]]))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: coordinates plus the per-cell measurement dict."""
+
+    coords: tuple
+    values: dict
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, with helpers for tabular reporting."""
+
+    name: str
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def add(self, coords: tuple, values: dict) -> None:
+        self.cells.append(SweepCell(coords=coords, values=values))
+
+    def column(self, key: str) -> list:
+        return [c.values[key] for c in self.cells]
+
+    def rows(self, keys: Sequence[str]) -> list[list]:
+        return [[*c.coords, *[c.values.get(k) for k in keys]] for c in self.cells]
+
+    def max_over(self, key: str):
+        return max(self.column(key))
+
+
+def run_sweep(
+    name: str,
+    coords_iter: Iterable[tuple],
+    measure: Callable[..., dict],
+    seed: int = 0,
+) -> SweepResult:
+    """Run ``measure(rng, *coords)`` over a coordinate grid.
+
+    ``measure`` returns a dict of named measurements for the cell.
+    """
+    result = SweepResult(name=name)
+    for coords in coords_iter:
+        rng = cell_rng(seed, name, *coords)
+        result.add(coords, measure(rng, *coords))
+    return result

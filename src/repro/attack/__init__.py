@@ -1,0 +1,76 @@
+"""Sybil attack machinery: splits, best responses, incentive ratios."""
+
+from .sybil import SplitOutcome, attacker_utility, honest_split, split_ring
+from .misreport import alpha_curve, report_weight, utility_curve, utility_of_report
+from .best_response import BestResponse, best_split, utility_of_split_curve
+from .incentive_ratio import InstanceRatio, incentive_ratio, incentive_ratio_of_vertex
+from .lower_bound import (
+    ATTACKER,
+    LowerBoundPoint,
+    lower_bound_ratio,
+    lower_bound_ring,
+    lower_bound_series,
+)
+from .worst_case import WorstCaseResult, search_worst_ring
+from .exact_response import ExactBestResponse, exact_attacker_utility, exact_best_split
+from .combined import (
+    CombinedBestResponse,
+    best_combined_split,
+    combined_attacker_utility,
+)
+from .multi_split import (
+    MultiBestResponse,
+    MultiSplit,
+    best_multi_split,
+    set_partitions,
+    split_multi,
+)
+from .general import (
+    GeneralBestResponse,
+    GeneralSplit,
+    best_general_split,
+    general_incentive_ratio,
+    neighbor_bipartitions,
+    split_general,
+)
+
+__all__ = [
+    "SplitOutcome",
+    "attacker_utility",
+    "honest_split",
+    "split_ring",
+    "alpha_curve",
+    "report_weight",
+    "utility_curve",
+    "utility_of_report",
+    "BestResponse",
+    "best_split",
+    "utility_of_split_curve",
+    "InstanceRatio",
+    "incentive_ratio",
+    "incentive_ratio_of_vertex",
+    "ATTACKER",
+    "LowerBoundPoint",
+    "lower_bound_ratio",
+    "lower_bound_ring",
+    "lower_bound_series",
+    "WorstCaseResult",
+    "search_worst_ring",
+    "ExactBestResponse",
+    "exact_attacker_utility",
+    "exact_best_split",
+    "GeneralBestResponse",
+    "GeneralSplit",
+    "best_general_split",
+    "general_incentive_ratio",
+    "neighbor_bipartitions",
+    "split_general",
+    "MultiBestResponse",
+    "MultiSplit",
+    "best_multi_split",
+    "set_partitions",
+    "split_multi",
+    "CombinedBestResponse",
+    "best_combined_split",
+    "combined_attacker_utility",
+]

@@ -1,0 +1,144 @@
+"""Optimal Sybil weight split ``(w_1^*, w_2^*)`` on a ring.
+
+The attacker maximizes ``U(w_1) = U_{v^1}(w_1) + U_{v^2}(w_v - w_1)`` over
+``w_1 in [0, w_v]``.  ``U`` is piecewise smooth: inside an interval where
+the path's bottleneck decomposition is combinatorially constant, each term
+is either linear (``w * alpha`` with ``alpha`` a ratio of affine functions
+of ``w_1``) or hyperbolic (``w / alpha``), so ``U`` is piecewise rational
+with finitely many breakpoints.  The optimizer therefore:
+
+1. samples a dense uniform grid (catching every regime of non-trivial
+   width),
+2. locally refines the best bracket by golden-section search (each regime
+   piece is smooth; the refinement converges to the best point of the
+   winning piece, including its endpoints, i.e. the breakpoints), and
+3. always includes the exact endpoints ``0`` and ``w_v`` and the honest
+   split.
+
+An exhaustive-enumeration variant over *exact* rational breakpoints is
+provided by :mod:`repro.theory.breakpoints` for small instances; tests
+cross-check the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import AttackError
+from ..graphs import WeightedGraph, require_ring
+from ..numeric import Backend, FLOAT, Scalar
+from .sybil import attacker_utility, honest_split
+
+__all__ = ["BestResponse", "best_split", "utility_of_split_curve"]
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """Result of the best-response search for one attacker."""
+
+    vertex: int
+    w1: float
+    w2: float
+    utility: float
+    honest_utility: float
+
+    @property
+    def ratio(self) -> float:
+        """``zeta_v`` (Definition 7).  1 when the attacker owns nothing."""
+        if self.honest_utility == 0:
+            return 1.0
+        return self.utility / self.honest_utility
+
+
+def utility_of_split_curve(
+    g: WeightedGraph, v: int, w1s, backend: Backend = FLOAT
+) -> list[float]:
+    """``U(w_1)`` sampled on a grid of ``w_1`` values."""
+    wv = float(g.weights[v])
+    return [float(attacker_utility(g, v, float(w1), wv - float(w1), backend)) for w1 in w1s]
+
+
+def best_split(
+    g: WeightedGraph,
+    v: int,
+    grid: int = 64,
+    refine_iters: int = 60,
+    backend: Backend = FLOAT,
+) -> BestResponse:
+    """Search for ``(w_1^*, w_2^*)`` maximizing the attacker's utility.
+
+    Parameters
+    ----------
+    grid:
+        Number of uniform samples of ``w_1`` (plus endpoints and the honest
+        split).  Breakpoint regimes narrower than ``w_v / grid`` can be
+        missed by the coarse pass; the golden refinement then recovers the
+        optimum only if it lies in the best sampled bracket.  Experiments
+        use ``grid >= 64`` which empirically saturates on rings up to
+        ``n = 64`` (see EXP-T8 notes in EXPERIMENTS.md).
+    refine_iters:
+        Golden-section iterations inside the winning bracket (60 iterations
+        shrink it by ~1e-12 relative).
+    """
+    require_ring(g)
+    if grid < 2:
+        raise AttackError("grid must have at least 2 points")
+    wv = float(g.weights[v])
+    honest = float(bd_allocation_utility(g, v, backend))
+
+    if wv == 0:
+        return BestResponse(vertex=v, w1=0.0, w2=0.0, utility=0.0, honest_utility=honest)
+
+    def U(w1: float) -> float:
+        w1 = min(max(w1, 0.0), wv)
+        return float(attacker_utility(g, v, w1, wv - w1, backend))
+
+    # coarse pass
+    candidates = list(np.linspace(0.0, wv, grid + 1))
+    h1, h2 = honest_split(g, v, backend)
+    candidates.append(float(h1))
+    values = [U(w1) for w1 in candidates]
+    order = int(np.argmax(values))
+    best_w1, best_val = candidates[order], values[order]
+
+    # golden-section refinement around the best uniform-grid bracket
+    step = wv / grid
+    lo = max(0.0, best_w1 - step)
+    hi = min(wv, best_w1 + step)
+    inv_phi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc, fd = U(c), U(d)
+    for _ in range(refine_iters):
+        if fc >= fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = U(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = U(d)
+        if b - a < 1e-13 * max(1.0, wv):
+            break
+    for w1, val in ((c, fc), (d, fd)):
+        if val > best_val:
+            best_w1, best_val = w1, val
+
+    return BestResponse(
+        vertex=v,
+        w1=float(best_w1),
+        w2=float(wv - best_w1),
+        utility=float(best_val),
+        honest_utility=honest,
+    )
+
+
+def bd_allocation_utility(g: WeightedGraph, v: int, backend: Backend) -> Scalar:
+    """Truthful equilibrium utility ``U_v(G; w)`` of Definition 7's
+    denominator."""
+    from ..core import bd_allocation
+
+    return bd_allocation(g, backend=backend).utilities[v]

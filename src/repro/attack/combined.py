@@ -1,0 +1,135 @@
+"""Combined attacks: Sybil split plus weight under-reporting.
+
+Definition 7 constrains the identities' weights to sum to ``w_v``.  A
+natural stronger adversary could *also* under-report -- choose
+``w_1 + w_2 < w_v``, hiding part of its endowment.  Theorem 10 says hiding
+weight never helps an *unsplit* agent; whether it can help a split one is
+not formally addressed by the paper, so the library answers empirically:
+the EXP-CMB ablation optimizes over the full triangle
+
+    {(w_1, w_2) : w_1, w_2 >= 0, w_1 + w_2 <= w_v}
+
+and compares with the Definition 7 optimum on the diagonal edge.  On every
+instance family we sweep, the unconstrained optimum sits on the diagonal
+(hiding weight is never strictly profitable), extending the truthfulness
+intuition to the split setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import bd_allocation
+from ..exceptions import AttackError
+from ..graphs import WeightedGraph, cut_ring_at, require_ring
+from ..numeric import Backend, FLOAT
+
+__all__ = ["CombinedBestResponse", "combined_attacker_utility", "best_combined_split"]
+
+
+def combined_attacker_utility(
+    g: WeightedGraph, v: int, w1: float, w2: float, backend: Backend = FLOAT
+) -> float:
+    """Attacker utility for an arbitrary (possibly under-reporting) split."""
+    wv = float(g.weights[v])
+    if w1 < 0 or w2 < 0 or w1 + w2 > wv * (1 + 1e-12):
+        raise AttackError(f"({w1}, {w2}) outside the feasible triangle for w_v={wv}")
+    p, v1, v2 = cut_ring_at(g, v, backend.scalar(w1), backend.scalar(w2))
+    alloc = bd_allocation(p, backend=backend)
+    return float(alloc.utilities[v1] + alloc.utilities[v2])
+
+
+@dataclass(frozen=True)
+class CombinedBestResponse:
+    """Optimum over the full (w1, w2) triangle vs the Definition 7 edge."""
+
+    vertex: int
+    w1: float
+    w2: float
+    utility: float
+    diagonal_utility: float  # best with w1 + w2 = w_v (Definition 7)
+    honest_utility: float
+    evaluations: int
+
+    @property
+    def ratio(self) -> float:
+        if self.honest_utility == 0:
+            return 1.0
+        return self.utility / self.honest_utility
+
+    @property
+    def hiding_gain(self) -> float:
+        """How much strictly under-reporting beats the Definition 7 optimum
+        (0 when the diagonal is optimal)."""
+        return max(0.0, self.utility - self.diagonal_utility)
+
+
+def best_combined_split(
+    g: WeightedGraph,
+    v: int,
+    grid: int = 24,
+    refine: int = 2,
+    backend: Backend = FLOAT,
+) -> CombinedBestResponse:
+    """Grid + local-refinement search over the feasible triangle.
+
+    The triangle is scanned on a barycentric lattice; the incumbent's
+    neighborhood is then re-scanned at half resolution ``refine`` times.
+    The diagonal ``w1 + w2 = w_v`` is scanned at full resolution separately
+    so the comparison against Definition 7 is not disadvantaged.
+    """
+    require_ring(g)
+    wv = float(g.weights[v])
+    honest = float(bd_allocation(g, backend=backend).utilities[v])
+    evals = 0
+
+    def U(w1: float, w2: float) -> float:
+        nonlocal evals
+        evals += 1
+        w1 = min(max(w1, 0.0), wv)
+        w2 = min(max(w2, 0.0), wv - w1)
+        return combined_attacker_utility(g, v, w1, w2, backend)
+
+    if wv == 0:
+        return CombinedBestResponse(vertex=v, w1=0.0, w2=0.0, utility=0.0,
+                                    diagonal_utility=0.0, honest_utility=honest,
+                                    evaluations=0)
+
+    # diagonal (Definition 7) optimum via the dedicated refined search, so
+    # the comparison is not skewed by resolution differences
+    from .best_response import best_split
+
+    diag = best_split(g, v, grid=max(grid, 48), backend=backend)
+    diag_best = diag.utility
+
+    # full triangle scan
+    best_w, best_val = (wv, 0.0), -np.inf
+    for i in range(grid + 1):
+        for j in range(grid + 1 - i):
+            w1 = wv * i / grid
+            w2 = wv * j / grid
+            val = U(w1, w2)
+            if val > best_val:
+                best_w, best_val = (w1, w2), val
+    step = wv / grid
+    for _ in range(refine):
+        step /= 2
+        cx, cy = best_w
+        for dx in (-2, -1, 0, 1, 2):
+            for dy in (-2, -1, 0, 1, 2):
+                w1 = min(max(cx + dx * step, 0.0), wv)
+                w2 = min(max(cy + dy * step, 0.0), wv - w1)
+                val = U(w1, w2)
+                if val > best_val:
+                    best_w, best_val = (w1, w2), val
+    # the diagonal is part of the triangle: fold its (better-refined)
+    # optimum into the incumbent so the reported optimum is the true max
+    if diag_best > best_val:
+        best_w, best_val = (diag.w1, diag.w2), diag_best
+    return CombinedBestResponse(
+        vertex=v, w1=best_w[0], w2=best_w[1], utility=float(best_val),
+        diagonal_utility=float(diag_best), honest_utility=honest,
+        evaluations=evals,
+    )

@@ -1,0 +1,346 @@
+"""Exact (rational-arithmetic) best response for small rings.
+
+The float search in :mod:`.best_response` samples + golden-sections; this
+module computes the optimum *exactly* for instances with rational weights,
+by exploiting the piecewise structure Section III-B establishes:
+
+1. the interval of split choices ``w_1 in [0, w_v]`` partitions into
+   finitely many *regimes* on which the path's bottleneck decomposition is
+   combinatorially constant (located by exact-bisection signature sweeps);
+2. inside a regime every pair's alpha is a ratio of affine functions of
+   ``w_1`` (the split weights enter one side of a pair linearly, and
+   ``w_2 = w_v - w_1``), so each endpoint utility is
+   ``(affine) * alpha`` or ``(affine) / alpha`` and the attacker's total
+
+       U(w_1) = U_{v^1}(w_1) + U_{v^2}(w_1)
+
+   is a rational function of degree at most (3, 2) -- two (2,1)-pieces over
+   distinct affine denominators.  The coefficients are recovered by *exact
+   interpolation* from samples inside the regime and verified on held-out
+   points, so a mis-specified form is detected, never silently wrong;
+3. each piece is maximized in closed form: candidates are the regime
+   endpoints plus the real stationary points (roots of the exact
+   derivative-numerator polynomial; rational roots found exactly,
+   irrational ones isolated by rational bisection to 2^-60 of the regime
+   -- and since every candidate is *evaluated*, an approximate stationary
+   point can only underestimate the max, never corrupt it).
+
+The result is certified: an exact utility value at an exact split point,
+which the tests compare against the float search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import isqrt
+from typing import Callable, Sequence
+
+from ..core import bd_allocation, bottleneck_decomposition
+from ..graphs import WeightedGraph, cut_ring_at, require_ring
+from ..numeric import EXACT
+from ..theory.breakpoints import decomposition_signature, sweep_regimes
+
+__all__ = ["ExactBestResponse", "exact_best_split", "exact_attacker_utility"]
+
+_P_DEG = 3  # numerator degree bound
+_Q_DEG = 2  # denominator degree bound
+
+
+@dataclass(frozen=True)
+class ExactBestResponse:
+    """Certified optimum of the Sybil split for one attacker."""
+
+    vertex: int
+    w1: Fraction
+    w2: Fraction
+    utility: Fraction
+    honest_utility: Fraction
+    regimes: int
+
+    @property
+    def ratio(self) -> Fraction:
+        if self.honest_utility == 0:
+            return Fraction(1)
+        return self.utility / self.honest_utility
+
+
+def exact_attacker_utility(g: WeightedGraph, v: int, w1: Fraction) -> Fraction:
+    """U(w1) with exact arithmetic (w2 = w_v - w1)."""
+    wv = Fraction(g.weights[v])
+    p, v1, v2 = cut_ring_at(g, v, w1, wv - w1)
+    alloc = bd_allocation(p, backend=EXACT)
+    return alloc.utilities[v1] + alloc.utilities[v2]
+
+
+# ---------------------------------------------------------------------------
+# exact polynomial helpers
+# ---------------------------------------------------------------------------
+
+def _poly_eval(coeffs: Sequence[Fraction], w: Fraction) -> Fraction:
+    acc = Fraction(0)
+    for c in reversed(coeffs):
+        acc = acc * w + c
+    return acc
+
+
+def _poly_mul(a: Sequence[Fraction], b: Sequence[Fraction]) -> list[Fraction]:
+    out = [Fraction(0)] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        for j, y in enumerate(b):
+            out[i + j] += x * y
+    return out
+
+
+def _poly_diff(a: Sequence[Fraction]) -> list[Fraction]:
+    return [c * k for k, c in enumerate(a)][1:] or [Fraction(0)]
+
+
+def _poly_sub(a: Sequence[Fraction], b: Sequence[Fraction]) -> list[Fraction]:
+    n = max(len(a), len(b))
+    a = list(a) + [Fraction(0)] * (n - len(a))
+    b = list(b) + [Fraction(0)] * (n - len(b))
+    return [x - y for x, y in zip(a, b)]
+
+
+@dataclass(frozen=True)
+class _Rational:
+    """p(w)/q(w) with exact Fraction coefficients (low-to-high order)."""
+
+    p: tuple[Fraction, ...]
+    q: tuple[Fraction, ...]
+
+    def __call__(self, w: Fraction) -> Fraction:
+        den = _poly_eval(self.q, w)
+        if den == 0:
+            raise ZeroDivisionError("pole inside regime")
+        return _poly_eval(self.p, w) / den
+
+    def derivative_numerator(self) -> list[Fraction]:
+        """Coefficients of ``p'q - pq'`` (the sign of the derivative)."""
+        return _poly_sub(_poly_mul(_poly_diff(self.p), self.q),
+                         _poly_mul(self.p, _poly_diff(self.q)))
+
+
+def _interpolate_rational(
+    f: Callable[[Fraction], Fraction], lo: Fraction, hi: Fraction
+) -> _Rational | None:
+    """Fit f as a (deg<=3)/(deg<=2) rational function on [lo, hi].
+
+    Solves the homogeneous system ``p(w_i) - f_i q(w_i) = 0`` (7 unknowns)
+    on 8 interior samples by exact Gaussian elimination and verifies on 2
+    held-out points; returns None when no such function matches (callers
+    fall back to dense sampling)."""
+    span = hi - lo
+    if span <= 0:
+        return None
+    n_unknowns = (_P_DEG + 1) + (_Q_DEG + 1)
+    pts = [lo + span * Fraction(k, n_unknowns + 3) for k in range(1, n_unknowns + 3)]
+    train, test = pts[: n_unknowns + 1], pts[n_unknowns + 1:]
+
+    rows = []
+    for w in train:
+        fv = f(w)
+        row = [w**k for k in range(_P_DEG + 1)]
+        row += [-fv * w**k for k in range(_Q_DEG + 1)]
+        rows.append(row)
+
+    sol = _nullspace_vector(rows, n_unknowns)
+    if sol is None:
+        return None
+    rat = _Rational(p=tuple(sol[: _P_DEG + 1]), q=tuple(sol[_P_DEG + 1:]))
+    if all(c == 0 for c in rat.q):
+        return None
+    try:
+        for w in test:
+            if rat(w) != f(w):
+                return None
+    except ZeroDivisionError:
+        return None
+    return rat
+
+
+def _nullspace_vector(rows: list[list[Fraction]], ncols: int) -> list[Fraction] | None:
+    """One nonzero nullspace vector of an exact rational matrix."""
+    m = [row[:] for row in rows]
+    pivots: list[int] = []
+    r = 0
+    for c in range(ncols):
+        pivot = next((i for i in range(r, len(m)) if m[i][c] != 0), None)
+        if pivot is None:
+            continue
+        m[r], m[pivot] = m[pivot], m[r]
+        inv = 1 / m[r][c]
+        m[r] = [x * inv for x in m[r]]
+        for i in range(len(m)):
+            if i != r and m[i][c] != 0:
+                factor = m[i][c]
+                m[i] = [a - factor * b for a, b in zip(m[i], m[r])]
+        pivots.append(c)
+        r += 1
+        if r == len(m):
+            break
+    free = [c for c in range(ncols) if c not in pivots]
+    if not free:
+        return None
+    fc = free[0]
+    sol = [Fraction(0)] * ncols
+    sol[fc] = Fraction(1)
+    for row, pc in zip(m, pivots):
+        sol[pc] = -row[fc]
+    return sol
+
+
+# ---------------------------------------------------------------------------
+# exact maximization of one piece
+# ---------------------------------------------------------------------------
+
+def _maximize_piece(rat: _Rational, lo: Fraction, hi: Fraction) -> tuple[Fraction, Fraction]:
+    """Exact max of a rational function on [lo, hi]."""
+    candidates = [lo, hi] + _roots_in(rat.derivative_numerator(), lo, hi)
+    best_w, best_val = lo, rat(lo)
+    for w in candidates:
+        val = rat(w)
+        if val > best_val:
+            best_w, best_val = w, val
+    return best_w, best_val
+
+
+def _roots_in(coeffs: Sequence[Fraction], lo: Fraction, hi: Fraction) -> list[Fraction]:
+    """Real roots of an exact polynomial inside [lo, hi].
+
+    Degree <= 2 handled exactly (perfect-square discriminants give exact
+    rational roots); everything else by sign-change isolation + rational
+    bisection.  Approximate roots are safe: they are only *candidates*.
+    """
+    # trim trailing zeros
+    cs = list(coeffs)
+    while cs and cs[-1] == 0:
+        cs.pop()
+    if not cs or len(cs) == 1:
+        return []
+    if len(cs) == 2:
+        root = -cs[0] / cs[1]
+        return [root] if lo <= root <= hi else []
+    if len(cs) == 3:
+        c0, c1, c2 = cs
+        disc = c1 * c1 - 4 * c2 * c0
+        if disc < 0:
+            return []
+        s = _exact_sqrt(disc)
+        if s is not None:
+            return [r for r in ((-c1 + s) / (2 * c2), (-c1 - s) / (2 * c2))
+                    if lo <= r <= hi]
+    return _bisect_roots(lambda w: _poly_eval(cs, w), lo, hi)
+
+
+def _exact_sqrt(x: Fraction) -> Fraction | None:
+    """sqrt(x) when x is a perfect rational square, else None."""
+    if x < 0:
+        return None
+    num, den = x.numerator, x.denominator
+    rn, rd = isqrt(num), isqrt(den)
+    if rn * rn == num and rd * rd == den:
+        return Fraction(rn, rd)
+    return None
+
+
+def _bisect_roots(f, lo: Fraction, hi: Fraction, pieces: int = 24, iters: int = 60) -> list[Fraction]:
+    """Sign-change bisection root isolation on [lo, hi]."""
+    roots: list[Fraction] = []
+    span = hi - lo
+    xs = [lo + span * Fraction(k, pieces) for k in range(pieces + 1)]
+    vals = [f(x) for x in xs]
+    for i in range(pieces):
+        a, b = xs[i], xs[i + 1]
+        fa, fb = vals[i], vals[i + 1]
+        if fa == 0:
+            roots.append(a)
+            continue
+        if fa * fb < 0:
+            for _ in range(iters):
+                mid = (a + b) / 2
+                fm = f(mid)
+                if fm == 0:
+                    a = b = mid
+                    break
+                if fa * fm < 0:
+                    b, fb = mid, fm
+                else:
+                    a, fa = mid, fm
+            roots.append((a + b) / 2)
+    if vals[-1] == 0:
+        roots.append(xs[-1])
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# the exact best response
+# ---------------------------------------------------------------------------
+
+def exact_best_split(
+    g: WeightedGraph,
+    v: int,
+    probes: int = 33,
+    gap: float = 1e-9,
+) -> ExactBestResponse:
+    """Exact best response of attacker ``v`` on a rational-weight ring.
+
+    Cost is dominated by the regime sweep (each probe is an exact
+    decomposition), so this targets small instances (n <= ~10); it exists
+    to *certify* the float search, which the tests do instance by instance.
+    """
+    require_ring(g)
+    wv = Fraction(g.weights[v])
+    honest = Fraction(bd_allocation(g, backend=EXACT).utilities[v])
+    if wv == 0:
+        return ExactBestResponse(vertex=v, w1=Fraction(0), w2=Fraction(0),
+                                 utility=Fraction(0), honest_utility=honest, regimes=0)
+
+    def signature_at(w1) -> tuple:
+        p, _, _ = cut_ring_at(g, v, Fraction(w1), wv - Fraction(w1))
+        return decomposition_signature(bottleneck_decomposition(p, EXACT))
+
+    regimes = sweep_regimes(signature_at, Fraction(0), wv, probes=probes,
+                            gap=gap, backend=EXACT)
+
+    U = lambda w1: exact_attacker_utility(g, v, w1)
+
+    def maximize_interval(lo: Fraction, hi: Fraction, depth: int) -> tuple[Fraction, Fraction]:
+        """Best (w, U(w)) on [lo, hi]: fit-and-maximize, or subdivide.
+
+        A failed fit means the sweep missed an interior breakpoint (two
+        changes between adjacent probes) -- halving isolates it; at the
+        depth limit, dense exact sampling bounds the piece.
+        """
+        margin = (hi - lo) / 64
+        ilo, ihi = lo + margin, hi - margin
+        rat = _interpolate_rational(U, ilo, ihi) if ihi > ilo else None
+        if rat is not None:
+            w, val = _maximize_piece(rat, ilo, ihi)
+        elif depth > 0 and hi > lo:
+            mid = (lo + hi) / 2
+            w, val = max(
+                maximize_interval(lo, mid, depth - 1),
+                maximize_interval(mid, hi, depth - 1),
+                key=lambda t: t[1],
+            )
+        else:
+            pts = [lo + (hi - lo) * Fraction(k, 16) for k in range(17)]
+            w, val = max(((p, U(p)) for p in pts), key=lambda t: t[1])
+        # interval boundaries themselves are candidates too (margins shaved)
+        for cand in (lo, hi):
+            cv = U(cand)
+            if cv > val:
+                w, val = cand, cv
+        return w, val
+
+    best_w, best_val = Fraction(0), U(Fraction(0))
+    for reg in regimes:
+        w, val = maximize_interval(Fraction(reg.lo), Fraction(reg.hi), depth=6)
+        if val > best_val:
+            best_w, best_val = w, val
+    return ExactBestResponse(
+        vertex=v, w1=best_w, w2=wv - best_w, utility=best_val,
+        honest_utility=honest, regimes=len(regimes),
+    )

@@ -1,0 +1,73 @@
+"""Lower-bound family: rings whose Sybil incentive ratio approaches 2.
+
+The paper cites [5] for the lower bound of 2 without reprinting the
+construction; this module codifies the one-parameter family rediscovered by
+:mod:`.worst_case` search (see DESIGN.md, "Substitutions"):
+
+    weights (in ring order)   [1, 1, 1/H, 1/H, H],   attacker v = 1.
+
+Mechanics (all verified by tests/EXP-LB):
+
+* On the ring the maximal bottleneck is ``B_1 = {v, H-vertex}`` with
+  ``C_1`` the other three, so the attacker is B class with
+  ``alpha_v = (1 + 2/H) / (1 + H) ~ 1/H`` and ``U_v = w_v alpha_v ~ 1/H``.
+* Splitting ``v^1``/``v^2`` with ``w_2 ~ 1/H^2`` flips the attacker-side
+  neighbor of ``v^2`` into B class: ``v^1`` stays B class keeping
+  ``U_{v^1} ~ w_v alpha_v = U_v`` while ``v^2`` becomes a C-class leaf with
+  ``U_{v^2} = w_2 / alpha' ~ U_v`` -- doubling the take.
+* The ratio satisfies ``zeta_v(H) = 2 - Theta(1/H)``, hence ``sup = 2``:
+  together with Theorem 8's upper bound the incentive ratio on rings is
+  exactly two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import AttackError
+from ..graphs import WeightedGraph, ring
+from ..numeric import Backend, FLOAT
+from .best_response import BestResponse, best_split
+
+__all__ = ["ATTACKER", "lower_bound_ring", "lower_bound_ratio", "lower_bound_series"]
+
+#: Index of the manipulative agent in :func:`lower_bound_ring`.
+ATTACKER = 1
+
+
+def lower_bound_ring(H: float) -> WeightedGraph:
+    """The 5-ring ``[1, 1, 1/H, 1/H, H]`` (attacker at index 1)."""
+    if not H > 1:
+        raise AttackError(f"family parameter H must exceed 1, got {H!r}")
+    return ring([1.0, 1.0, 1.0 / H, 1.0 / H, float(H)])
+
+
+def lower_bound_ratio(
+    H: float, grid: int = 256, backend: Backend = FLOAT
+) -> BestResponse:
+    """Best response of the family's attacker; ``ratio -> 2`` as ``H -> inf``."""
+    return best_split(lower_bound_ring(H), ATTACKER, grid=grid, backend=backend)
+
+
+@dataclass(frozen=True)
+class LowerBoundPoint:
+    H: float
+    zeta: float
+    w2_star: float
+    predicted: float
+
+    @property
+    def gap_to_two(self) -> float:
+        return 2.0 - self.zeta
+
+
+def lower_bound_series(Hs, grid: int = 256, backend: Backend = FLOAT) -> list[LowerBoundPoint]:
+    """``zeta_v(H)`` along the family, with the ``2 - 2/H`` first-order
+    prediction attached (EXP-LB)."""
+    out = []
+    for H in Hs:
+        r = lower_bound_ratio(H, grid=grid, backend=backend)
+        out.append(
+            LowerBoundPoint(H=float(H), zeta=r.ratio, w2_star=r.w2, predicted=2.0 - 2.0 / float(H))
+        )
+    return out

@@ -1,0 +1,55 @@
+"""Weight misreporting strategy of Cheng et al. [7] (Theorem 10 substrate).
+
+Agent ``v`` reports ``x in [0, w_v]`` instead of its true weight.  Theorem
+10 states the equilibrium utility ``U_v(x)`` is continuous and monotonically
+non-decreasing in ``x``, hence misreporting alone never profits (the
+mechanism is truthful) -- the Sybil analysis leans on this monotonicity at
+every stage, and the EXP-T10 experiment verifies it numerically.
+
+On a ring, wiring *both* neighbors to one fictitious node in a Sybil attack
+is exactly this strategy with ``x = w_{v^1}``, which is why the attack code
+only needs the one-neighbor-each split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import bd_allocation, bottleneck_decomposition
+from ..exceptions import AttackError
+from ..graphs import WeightedGraph
+from ..numeric import Backend, FLOAT, Scalar
+
+__all__ = ["report_weight", "utility_of_report", "utility_curve", "alpha_curve"]
+
+
+def report_weight(g: WeightedGraph, v: int, x: Scalar, backend: Backend = FLOAT) -> WeightedGraph:
+    """The network with ``v``'s weight replaced by its report ``x``."""
+    xs = backend.scalar(x)
+    wv = backend.scalar(g.weights[v])
+    if xs < 0 or xs > wv:
+        raise AttackError(f"report {x!r} outside [0, w_v = {g.weights[v]!r}]")
+    return g.with_weight(v, xs)
+
+
+def utility_of_report(g: WeightedGraph, v: int, x: Scalar, backend: Backend = FLOAT) -> Scalar:
+    """``U_v(x)``: equilibrium utility of ``v`` when it reports ``x``."""
+    return bd_allocation(report_weight(g, v, x, backend), backend=backend).utilities[v]
+
+
+def utility_curve(
+    g: WeightedGraph, v: int, xs: Sequence[Scalar], backend: Backend = FLOAT
+) -> list[Scalar]:
+    """``U_v(x)`` sampled on a grid (EXP-T10 / Fig. 2 style sweeps)."""
+    return [utility_of_report(g, v, x, backend) for x in xs]
+
+
+def alpha_curve(
+    g: WeightedGraph, v: int, xs: Sequence[Scalar], backend: Backend = FLOAT
+) -> list[Scalar]:
+    """``alpha_v(x)`` sampled on a grid (Proposition 11 / Fig. 2)."""
+    out = []
+    for x in xs:
+        d = bottleneck_decomposition(report_weight(g, v, x, backend), backend)
+        out.append(d.alpha_of(v))
+    return out

@@ -1,0 +1,125 @@
+"""Sybil attack on a ring (Section II-D).
+
+A manipulative agent ``v`` on a ring splits into ``m <= d_v = 2`` fictitious
+nodes.  The only non-degenerate assignment connects one ring neighbor to
+each of ``v^1`` and ``v^2``, turning the ring into the paper's path
+``P_v(w_1, w_2)`` with ``v^1``/``v^2`` as the endpoints (the other
+assignment wires both neighbors to a single node, which is exactly the
+*misreporting* strategy of [7] and is handled by :mod:`.misreport`; by
+Theorem 10 it can never gain).
+
+This module provides the split itself, the attacker's post-split utility,
+and the *honest split* ``(w_1^0, w_2^0)`` of Lemma 9 -- the amounts ``v``
+sends to its two neighbors at the truthful equilibrium, whose split
+provably leaves every utility unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import Allocation, BottleneckDecomposition, bd_allocation, bottleneck_decomposition
+from ..exceptions import AttackError
+from ..graphs import WeightedGraph, cut_ring_at, ring_neighbors
+from ..numeric import Backend, FLOAT, Scalar
+
+__all__ = ["SplitOutcome", "split_ring", "attacker_utility", "honest_split"]
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    """Everything the analysis needs about one split ``P_v(w1, w2)``.
+
+    ``v1``/``v2`` are the path ids of the fictitious endpoints; ``path`` is
+    the split graph; utilities are read from the BD allocation of the path.
+    """
+
+    path: WeightedGraph
+    v1: int
+    v2: int
+    w1: Scalar
+    w2: Scalar
+    decomposition: BottleneckDecomposition
+    allocation: Allocation
+
+    @property
+    def utility_v1(self) -> Scalar:
+        return self.allocation.utilities[self.v1]
+
+    @property
+    def utility_v2(self) -> Scalar:
+        return self.allocation.utilities[self.v2]
+
+    @property
+    def attacker_utility(self) -> Scalar:
+        """``U'_v = U_{v^1} + U_{v^2}`` (Section II-D)."""
+        return self.utility_v1 + self.utility_v2
+
+    def alpha_v1(self) -> Scalar:
+        return self.decomposition.alpha_of(self.v1)
+
+    def alpha_v2(self) -> Scalar:
+        return self.decomposition.alpha_of(self.v2)
+
+
+def split_ring(
+    g: WeightedGraph,
+    v: int,
+    w1: Scalar,
+    w2: Scalar,
+    backend: Backend = FLOAT,
+) -> SplitOutcome:
+    """Perform the Sybil split and solve the resulting path.
+
+    ``w1 + w2`` must equal ``w_v`` (the attacker cannot mint resource) and
+    both parts must be non-negative.
+    """
+    wv = g.weights[v]
+    w1b = backend.scalar(w1)
+    w2b = backend.scalar(w2)
+    if w1b < 0 or w2b < 0:
+        raise AttackError(f"split weights must be non-negative, got ({w1!r}, {w2!r})")
+    total = w1b + w2b
+    want = backend.scalar(wv)
+    ok = (total == want) if backend.is_exact else abs(float(total) - float(wv)) <= backend.tol * max(1.0, float(wv))
+    if not ok:
+        raise AttackError(f"split weights ({w1!r}, {w2!r}) do not sum to w_v = {wv!r}")
+    path, v1, v2 = cut_ring_at(g, v, w1b, w2b)
+    decomp = bottleneck_decomposition(path, backend)
+    alloc = bd_allocation(path, decomp, backend)
+    return SplitOutcome(
+        path=path, v1=v1, v2=v2, w1=w1b, w2=w2b,
+        decomposition=decomp, allocation=alloc,
+    )
+
+
+def attacker_utility(
+    g: WeightedGraph, v: int, w1: Scalar, w2: Scalar, backend: Backend = FLOAT
+) -> Scalar:
+    """``U'_v(P_v(w1, w2))`` without keeping the full outcome."""
+    return split_ring(g, v, w1, w2, backend).attacker_utility
+
+
+def honest_split(
+    g: WeightedGraph, v: int, backend: Backend = FLOAT
+) -> tuple[Scalar, Scalar]:
+    """The Lemma 9 honest split ``(w_1^0, w_2^0)``.
+
+    ``w_1^0`` is what ``v`` sends to its smaller-id ring neighbor at the
+    truthful equilibrium and ``w_2^0`` what it sends to the other one --
+    matching the orientation convention of ``cut_ring_at`` (``v^1`` attaches
+    to the smaller-id neighbor).
+    """
+    u_a, u_b = ring_neighbors(g, v)
+    alloc = bd_allocation(g, backend=backend)
+    zero = backend.scalar(0)
+    w1 = alloc.x.get((v, u_a), zero)
+    w2 = alloc.x.get((v, u_b), zero)
+    # At equilibrium v spends exactly w_v; float round-off (or a degenerate
+    # zero-alpha corner) can leave residue, which is folded into the first
+    # side so the pair sums to w_v exactly (split_ring checks this).
+    want = backend.scalar(g.weights[v])
+    w1 = want - w2
+    if w1 < 0:
+        w1, w2 = backend.scalar(0), want
+    return w1, w2

@@ -1,0 +1,83 @@
+"""Command-line entry point: ``repro-exp``.
+
+Usage::
+
+    repro-exp list                     # enumerate experiments
+    repro-exp run EXP-T8 [--scale default] [--seed 0] [--json out.json]
+    repro-exp all [--scale smoke]      # run the full suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .exceptions import ReproError
+from .experiments import run_all, run_experiment
+from .io import dump_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Reproduction experiments for 'Tightening Up the Incentive "
+                    "Ratio for Resource Sharing Over the Rings' (IPDPS 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("exp_id", help="experiment id, e.g. EXP-T8")
+    _common(run_p)
+
+    all_p = sub.add_parser("all", help="run the whole suite")
+    _common(all_p)
+    return parser
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="default", choices=["smoke", "default", "full"],
+                   help="sweep size (smoke ~ seconds, full ~ minutes)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None, help="also dump structured results to this path")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            from .experiments import EXPERIMENTS
+
+            for exp_id, mod in EXPERIMENTS.items():
+                print(f"{exp_id:10s} {mod.TITLE}")
+            return 0
+        if args.command == "run":
+            out = run_experiment(args.exp_id, seed=args.seed, scale=args.scale)
+            print(out.render())
+            if args.json:
+                dump_result({"exp_id": out.exp_id, "ok": out.ok, "data": out.data}, args.json)
+            return 0 if out.ok else 1
+        if args.command == "all":
+            outs = run_all(seed=args.seed, scale=args.scale)
+            for out in outs:
+                print(out.render())
+                print()
+            failed = [o.exp_id for o in outs if not o.ok]
+            print(f"== suite summary: {len(outs) - len(failed)}/{len(outs)} passed"
+                  + (f"; failed: {', '.join(failed)}" if failed else " =="))
+            if args.json:
+                dump_result(
+                    {o.exp_id: {"ok": o.ok, "data": o.data} for o in outs}, args.json
+                )
+            return 0 if not failed else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,233 @@
+"""BD Allocation Mechanism (Definition 5).
+
+Given the bottleneck decomposition, the equilibrium allocation is assembled
+pair by pair from max flows:
+
+* pair with ``alpha_i < 1``: network ``s -> u`` (cap ``w_u``, ``u in B_i``),
+  ``v -> t`` (cap ``w_v / alpha_i``, ``v in C_i``), infinite arcs on the
+  *actual graph edges* between ``B_i`` and ``C_i``.  The bottleneck property
+  guarantees the max flow saturates both sides; ``x_uv = f_uv`` and
+  ``x_vu = alpha_i * f_uv``.
+
+  (Definition 5 writes ``E_i = B_i x C_i``, but a complete-bipartite reading
+  would let non-adjacent agents exchange resource; following Wu-Zhang we use
+  the edges of ``G``.)
+
+* terminal pair ``B_k = C_k`` with ``alpha_k = 1``: bipartite double cover
+  ``(B_k, B_k'; (u, v') iff (u,v) in E[B_k])`` with unit-ratio capacities;
+  ``x_uv = f_{uv'}``.
+
+* every other edge carries zero.
+
+Degenerate corner: a pair with ``alpha_i = 0`` (possible only when every
+``C_i`` vertex has zero weight, e.g. after an extreme Sybil split) uses
+infinite sink capacities; B-side saturation still pins down utilities and
+the C side returns nothing.
+
+Utilities are always read off the realized allocation ``X`` (never from the
+closed form (2)), so zero-weight corner cases are well defined; Proposition
+6's formula is *checked* against X by ``tests`` and the EXP-CNV experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..exceptions import AllocationError, InfeasibleFlowError
+from ..flow import FlowNetwork, assert_valid_flow, dinic_max_flow
+from ..graphs import WeightedGraph
+from ..numeric import Backend, FLOAT, Scalar
+from .bottleneck import BottleneckDecomposition, bottleneck_decomposition
+
+__all__ = ["Allocation", "bd_allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A resource allocation ``X = {x_vu}`` on the directed edges of ``G``.
+
+    ``x`` maps ordered pairs ``(v, u)`` (edge of G) to the amount vertex
+    ``v`` hands to ``u``; absent keys mean zero.  ``utilities[v]`` is
+    ``U_v(X) = sum_u x_uv``.
+    """
+
+    graph: WeightedGraph
+    x: Mapping[tuple[int, int], Scalar]
+    utilities: tuple[Scalar, ...]
+
+    def sent(self, v: int) -> Scalar:
+        """Total resource ``v`` gives away."""
+        total = 0
+        for u in self.graph.neighbors(v):
+            total = total + self.x.get((v, u), 0)
+        return total
+
+    def received(self, v: int) -> Scalar:
+        total = 0
+        for u in self.graph.neighbors(v):
+            total = total + self.x.get((u, v), 0)
+        return total
+
+    def check_feasible(self, tol: float = 0.0) -> None:
+        """Raise unless X is a feasible allocation: non-negative amounts on
+        real edges only, and nobody gives away more than its endowment."""
+        g = self.graph
+        for (v, u), amount in self.x.items():
+            if not g.has_edge(v, u):
+                raise AllocationError(f"allocation on non-edge ({v},{u})")
+            if amount < -tol:
+                raise AllocationError(f"negative allocation {amount!r} on ({v},{u})")
+        for v in g.vertices():
+            s = self.sent(v)
+            if s > g.weights[v] + tol:
+                raise AllocationError(
+                    f"vertex {v} sends {s!r} > endowment {g.weights[v]!r}"
+                )
+
+
+def _pair_network(
+    g: WeightedGraph,
+    B: list[int],
+    C: list[int],
+    sink_caps: list,
+    backend: Backend,
+):
+    """Build the Definition-5 network for one pair; returns (net, arc map)."""
+    nb, nc = len(B), len(C)
+    s, t = 0, 1
+    bpos = {v: i for i, v in enumerate(B)}
+    cpos = {v: i for i, v in enumerate(C)}
+    net = FlowNetwork(2 + nb + nc)
+    if backend.is_exact:
+        total = backend.total([backend.scalar(g.weights[v]) for v in B])
+        inf_cap = total + 1
+    else:
+        inf_cap = math.inf
+    for i, u in enumerate(B):
+        net.add_edge(s, 2 + i, backend.scalar(g.weights[u]))
+    for j, v in enumerate(C):
+        net.add_edge(2 + nb + j, t, sink_caps[j])
+    arc_of: dict[tuple[int, int], int] = {}
+    for u in B:
+        for v in g.neighbors(u):
+            if v in cpos and v != u:
+                arc = net.add_edge(2 + bpos[u], 2 + nb + cpos[v], inf_cap)
+                arc_of[(u, v)] = arc
+    return net, arc_of
+
+
+def bd_allocation(
+    g: WeightedGraph,
+    decomp: BottleneckDecomposition | None = None,
+    backend: Backend = FLOAT,
+) -> Allocation:
+    """Compute the BD allocation of ``g`` (Definition 5).
+
+    ``decomp`` may be passed to reuse an existing decomposition; it must
+    have been computed with the same backend.
+    """
+    if decomp is None:
+        decomp = bottleneck_decomposition(g, backend)
+    x: dict[tuple[int, int], Scalar] = {}
+    # Zero flow tolerance even for floats (see bottleneck._maximal_minimizer:
+    # Dinic saturates arcs exactly); the backend tol only enters the final
+    # saturation comparison.
+    zero_tol = 0.0
+
+    for pair in decomp.pairs:
+        alpha = pair.alpha
+        if pair.is_unit:
+            # alpha = 1 terminal pair: bipartite double cover of E[B_k].
+            # Any saturating flow yields the right utilities (U_v = w_v), but
+            # the proportional-response *fixed point* additionally needs
+            # x_uv = x_vu on a unit pair (the response of u to v must echo
+            # v's gift exactly when alpha = 1).  Max flows are not unique --
+            # e.g. a uniform triangle admits a directed circulation -- so we
+            # symmetrize: the average of a saturating flow and its reverse is
+            # again saturating (capacities are symmetric) and is symmetric.
+            members = sorted(pair.B)
+            caps = [backend.scalar(g.weights[v]) for v in members]
+            net, arc_of = _pair_network(g, members, members, caps, backend)
+            _solve_and_check(net, g, members, members, caps, backend, zero_tol, pair.index)
+            two = backend.scalar(2)
+            for (u, v), arc in arc_of.items():
+                f = (net.flow_on(arc) + net.flow_on(arc_of[(v, u)])) / two
+                if f != 0:
+                    x[(u, v)] = f
+            continue
+
+        B = sorted(pair.B)
+        C = sorted(pair.C)
+        if backend.is_zero(alpha):
+            caps = [math.inf if not backend.is_exact else _big(g, backend) for _ in C]
+        else:
+            caps = [backend.scalar(g.weights[v]) / alpha for v in C]
+        net, arc_of = _pair_network(g, B, C, caps, backend)
+        _solve_and_check(
+            net, g, B, C, caps, backend, zero_tol, pair.index,
+            check_sink=not backend.is_zero(alpha),
+        )
+        for (u, v), arc in arc_of.items():
+            f = net.flow_on(arc)
+            if f != 0:
+                x[(u, v)] = f
+                back = alpha * f
+                if back != 0:
+                    x[(v, u)] = back
+
+    utilities = []
+    for v in g.vertices():
+        total = backend.scalar(0)
+        for u in g.neighbors(v):
+            total = total + x.get((u, v), 0)
+        utilities.append(total)
+    return Allocation(graph=g, x=x, utilities=tuple(utilities))
+
+
+def _big(g: WeightedGraph, backend: Backend):
+    return g.total_weight(backend) + 1
+
+
+def _solve_and_check(
+    net: FlowNetwork,
+    g: WeightedGraph,
+    B: list[int],
+    C: list[int],
+    sink_caps: list,
+    backend: Backend,
+    zero_tol: float,
+    pair_index: int,
+    check_sink: bool = True,
+) -> None:
+    """Max-flow the pair network and assert Definition 5's saturation."""
+    value = dinic_max_flow(net, 0, 1, zero_tol=zero_tol)
+    # Verification tolerance: reverse-arc flow accumulation can overshoot the
+    # forward capacity by a few ulps when flow arrives over several paths.
+    if backend.is_exact:
+        verify_tol = 0.0
+    else:
+        biggest = max((float(c) for c in net.orig_cap if not math.isinf(c)), default=1.0)
+        verify_tol = 1e-12 * max(1.0, biggest)
+    assert_valid_flow(net, 0, 1, tol=verify_tol)
+    want = backend.total([backend.scalar(g.weights[u]) for u in B])
+
+    def matches(a, b) -> bool:
+        # relative comparison so large endowments do not defeat the float tol
+        if backend.is_exact:
+            return a == b
+        scale = max(1.0, abs(float(b)))
+        return abs(float(a) - float(b)) <= backend.tol * scale * 16
+
+    if not matches(value, want):
+        raise InfeasibleFlowError(
+            f"pair {pair_index}: max flow {value!r} does not saturate the B side {want!r}; "
+            "the claimed set is not a bottleneck"
+        )
+    if check_sink:
+        want_sink = backend.total(sink_caps)
+        if not matches(value, want_sink):
+            raise InfeasibleFlowError(
+                f"pair {pair_index}: flow {value!r} does not saturate the C side {want_sink!r}"
+            )

@@ -1,0 +1,65 @@
+"""Inclusive expansion ratio ``alpha(S) = w(Gamma(S)) / w(S)`` (Section II-B).
+
+``alpha`` drives everything: a *bottleneck* is a minimizer of ``alpha`` over
+vertex subsets, pairs of Definition 2 carry the ratio ``alpha_i =
+w(C_i)/w(B_i)``, and equilibrium utilities are ``w_v * alpha`` or
+``w_v / alpha`` depending on the class of ``v`` (Proposition 6).
+
+Subsets with ``w(S) = 0`` have an undefined (effectively ``+inf``) ratio --
+they can never be bottlenecks -- and are reported as ``None`` so that exact
+(`Fraction`) arithmetic does not need an infinity value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..graphs import WeightedGraph
+from ..numeric import Backend, FLOAT, Scalar
+
+__all__ = ["alpha_ratio", "alpha_within", "pair_alpha"]
+
+
+def alpha_ratio(
+    g: WeightedGraph, S: Iterable[int], backend: Backend = FLOAT
+) -> Optional[Scalar]:
+    """``alpha(S)`` on the whole graph ``g``; ``None`` when ``w(S) = 0``."""
+    S = set(S)
+    if not S:
+        return None
+    wS = g.weight_of(S, backend)
+    if wS == 0:
+        return None
+    wN = g.weight_of(g.neighborhood(S), backend)
+    return wN / wS
+
+
+def alpha_within(
+    g: WeightedGraph,
+    S: Iterable[int],
+    active: Iterable[int],
+    backend: Backend = FLOAT,
+) -> Optional[Scalar]:
+    """``alpha`` of ``S`` inside the induced subgraph on ``active``.
+
+    Used by the decomposition loop: round ``i`` evaluates ratios inside
+    ``G_i`` without materializing the induced graph -- ``Gamma_{G_i}(S) =
+    Gamma(S) ∩ V_i`` because induced adjacency is plain restriction.
+    """
+    S = set(S)
+    active = set(active)
+    if not S or not S <= active:
+        return None
+    wS = g.weight_of(S, backend)
+    if wS == 0:
+        return None
+    wN = g.weight_of(g.neighborhood(S) & active, backend)
+    return wN / wS
+
+
+def pair_alpha(g: WeightedGraph, B: Iterable[int], C: Iterable[int], backend: Backend = FLOAT) -> Optional[Scalar]:
+    """``alpha_i = w(C_i) / w(B_i)`` of a bottleneck pair."""
+    wB = g.weight_of(B, backend)
+    if wB == 0:
+        return None
+    return g.weight_of(C, backend) / wB

@@ -1,0 +1,110 @@
+"""Asynchronous proportional response: gossip-style update orders.
+
+Definition 1 updates every directed edge simultaneously.  Real P2P swarms
+do not tick in lockstep, so this module provides the asynchronous variant:
+at each step a random *vertex* wakes up and re-divides its weight among its
+neighbors proportionally to what it currently receives from each.  The
+fixed points coincide with the synchronous ones (the update condition per
+edge is identical), and empirically the async schedule also kills the
+bipartite 2-cycles that plague the synchronous raw update -- measured by
+the EXP-CNV ablation and this module's tests.
+
+A trace facility records utility snapshots so convergence curves can be
+tabulated (the synchronous simulator in :mod:`.dynamics` stays lean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from ..graphs import WeightedGraph
+
+__all__ = ["AsyncResult", "async_proportional_response"]
+
+
+@dataclass(frozen=True)
+class AsyncResult:
+    """Outcome of an asynchronous run."""
+
+    converged: bool
+    sweeps: int
+    utilities: np.ndarray
+    residual: float
+    trace: list[tuple[int, float]] = field(default_factory=list)
+
+    def utility_of(self, v: int) -> float:
+        return float(self.utilities[v])
+
+
+def async_proportional_response(
+    g: WeightedGraph,
+    rng: np.random.Generator,
+    max_sweeps: int = 20_000,
+    tol: float = 1e-10,
+    record_every: int = 0,
+    raise_on_failure: bool = False,
+) -> AsyncResult:
+    """Random-permutation asynchronous proportional response.
+
+    One *sweep* wakes every vertex once in a fresh random order.  A woken
+    vertex ``v`` resets its outgoing allocation to
+    ``x_vu = (x_uv / U_v) * w_v`` using the *current* incoming amounts --
+    the Gauss-Seidel counterpart of Definition 1's Jacobi update.
+
+    Parameters
+    ----------
+    record_every:
+        If positive, snapshot ``(sweep, max |U - U_prev|)`` every that many
+        sweeps into ``trace``.
+    """
+    if g.m == 0:
+        raise ConvergenceError("dynamics undefined on an edgeless graph")
+    n = g.n
+    w = np.asarray([float(x) for x in g.weights])
+    # dense-enough representation: dict of dicts would be slow; use arrays
+    nbrs = [list(g.neighbors(v)) for v in range(n)]
+    x: dict[tuple[int, int], float] = {}
+    for v in range(n):
+        if nbrs[v]:
+            share = w[v] / len(nbrs[v])
+            for u in nbrs[v]:
+                x[(v, u)] = share
+
+    def utility(v: int) -> float:
+        return sum(x.get((u, v), 0.0) for u in nbrs[v])
+
+    scale = max(1.0, float(np.max(w))) if n else 1.0
+    trace: list[tuple[int, float]] = []
+    prev_util = np.array([utility(v) for v in range(n)])
+    residual = np.inf
+    sweep = 0
+    for sweep in range(1, max_sweeps + 1):
+        order = rng.permutation(n)
+        for v in order:
+            uv = utility(v)
+            if uv <= 0:
+                continue
+            for u in nbrs[v]:
+                x[(v, u)] = x.get((u, v), 0.0) / uv * w[v]
+        util = np.array([utility(v) for v in range(n)])
+        residual = float(np.max(np.abs(util - prev_util)))
+        prev_util = util
+        if record_every and sweep % record_every == 0:
+            trace.append((sweep, residual))
+        if residual <= tol * scale:
+            break
+    converged = residual <= tol * scale
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"async dynamics did not settle in {sweep} sweeps (residual {residual:g})"
+        )
+    return AsyncResult(
+        converged=converged,
+        sweeps=sweep,
+        utilities=prev_util,
+        residual=residual,
+        trace=trace,
+    )

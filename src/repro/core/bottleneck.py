@@ -1,0 +1,294 @@
+"""Bottleneck decomposition (Definition 2) via exact parametric min-cut.
+
+The maximal bottleneck ``argmin_S alpha(S)`` is computed by Dinkelbach
+iteration on the parametric function ``g_lambda(S) = w(Gamma(S)) - lambda *
+w(S)``:
+
+1. start at ``lambda = alpha(V) <= 1``;
+2. find the *maximal* minimizer ``S`` of ``g_lambda`` (a min cut in a
+   bipartite auxiliary network, maximal source side);
+3. if ``alpha(S) == lambda`` stop -- ``lambda`` is the minimum ratio and
+   ``S`` the maximal bottleneck; otherwise set ``lambda = alpha(S)`` and
+   repeat.
+
+Why this yields Definition 2's object:
+
+* ``S -> w(Gamma(S))`` is a coverage function, hence submodular, so
+  ``g_lambda`` is submodular and its minimizers form a lattice; at
+  ``lambda = alpha*`` the minimizers of value 0 are exactly the bottlenecks
+  (plus harmless zero-weight freeloaders), so the *maximal* minimizer is the
+  unique maximal bottleneck (the union of all bottlenecks).
+* each Dinkelbach step strictly decreases ``lambda`` through values of the
+  form ``w(A)/w(B)`` with ``A, B`` subset sums -- a finite set -- so exact
+  (`Fraction`) arithmetic terminates with the exact ratio.
+
+The auxiliary network for ``min_S g_lambda(S)`` has nodes ``{s, t}``, a left
+copy ``u_L`` and right copy ``v_R`` of the active vertices, arcs
+``s -> u_L`` with capacity ``lambda * w_u``, ``v_R -> t`` with capacity
+``w_v``, and ``u_L -> v_R`` with infinite capacity for ``v in Gamma(u)``.
+Choosing the left source-side set ``S`` forces ``Gamma(S)`` right vertices
+into the source side, so the cut value is ``lambda * w(V \\ S) +
+w(Gamma(S)) = lambda * w(V) + g_lambda(S)``; min cut therefore locates the
+minimizer, and the maximal min cut (complement of the residual coreachable
+set of ``t``) the maximal minimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..exceptions import DecompositionError
+from ..flow import FlowNetwork, dinic_max_flow, max_source_side
+from ..graphs import WeightedGraph, check_no_isolated
+from ..numeric import Backend, FLOAT, Scalar
+
+__all__ = [
+    "BottleneckPair",
+    "BottleneckDecomposition",
+    "maximal_bottleneck",
+    "bottleneck_decomposition",
+]
+
+_MAX_DINKELBACH_ITERS = 10_000
+
+
+@dataclass(frozen=True)
+class BottleneckPair:
+    """One pair ``(B_i, C_i)`` of the decomposition, in original vertex ids.
+
+    ``alpha = w(C_i) / w(B_i)``; ``index`` is the 1-based ``i`` of
+    Definition 2 (pairs are produced in increasing alpha order,
+    Proposition 3-(1)).
+    """
+
+    index: int
+    B: frozenset[int]
+    C: frozenset[int]
+    alpha: Scalar
+
+    @property
+    def is_unit(self) -> bool:
+        """True for the terminal ``alpha = 1`` pair where ``B_k = C_k``."""
+        return self.B == self.C
+
+    def members(self) -> frozenset[int]:
+        return self.B | self.C
+
+
+class BottleneckDecomposition:
+    """The full decomposition ``{(B_1, C_1), ..., (B_k, C_k)}`` of a graph.
+
+    Exposes per-vertex lookups used throughout the paper: the pair
+    containing ``v``, its alpha-ratio ``alpha_v``, and its class (Definition
+    4; vertices of a terminal ``B_k = C_k`` pair are *both* B and C class).
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        pairs: Sequence[BottleneckPair],
+        backend: Backend,
+    ) -> None:
+        self.graph = graph
+        self.pairs: tuple[BottleneckPair, ...] = tuple(pairs)
+        self.backend = backend
+        self._pair_of: dict[int, BottleneckPair] = {}
+        for p in self.pairs:
+            for v in p.members():
+                if v in self._pair_of:
+                    raise DecompositionError(
+                        f"vertex {v} appears in two pairs ({self._pair_of[v].index}, {p.index})"
+                    )
+                self._pair_of[v] = p
+        missing = set(graph.vertices()) - set(self._pair_of)
+        if missing:
+            raise DecompositionError(f"vertices {sorted(missing)} not covered by any pair")
+
+    # -- lookups ---------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return len(self.pairs)
+
+    def pair_of(self, v: int) -> BottleneckPair:
+        return self._pair_of[v]
+
+    def alpha_of(self, v: int) -> Scalar:
+        """``alpha_v`` in the paper's notation."""
+        return self._pair_of[v].alpha
+
+    def in_B(self, v: int) -> bool:
+        """B class membership (Definition 4)."""
+        return v in self._pair_of[v].B
+
+    def in_C(self, v: int) -> bool:
+        """C class membership (Definition 4)."""
+        return v in self._pair_of[v].C
+
+    def alphas(self) -> list[Scalar]:
+        return [p.alpha for p in self.pairs]
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"(B{p.index}={sorted(p.B)}, C{p.index}={sorted(p.C)}, a={p.alpha})"
+            for p in self.pairs
+        )
+        return f"BottleneckDecomposition[{parts}]"
+
+
+# ---------------------------------------------------------------------------
+# parametric machinery
+# ---------------------------------------------------------------------------
+
+def _maximal_minimizer(
+    g: WeightedGraph,
+    active: Sequence[int],
+    lam: Scalar,
+    backend: Backend,
+) -> set[int]:
+    """Maximal minimizer of ``g_lambda`` inside the induced graph on ``active``.
+
+    Returns original vertex ids.
+    """
+    verts = list(active)
+    pos = {v: i for i, v in enumerate(verts)}
+    nh = len(verts)
+    s, t = 0, 1
+    left = lambda i: 2 + i
+    right = lambda i: 2 + nh + i
+
+    w = [backend.scalar(g.weights[v]) for v in verts]
+    total_w = backend.total(w)
+    if backend.is_exact:
+        inf_cap = (lam + 1) * total_w + 1
+    else:
+        inf_cap = float("inf")
+
+    net = FlowNetwork(2 + 2 * nh)
+    active_set = set(verts)
+    for i, v in enumerate(verts):
+        net.add_edge(s, left(i), lam * w[i])
+        net.add_edge(right(i), t, w[i])
+        for u in g.neighbors(v):
+            if u in active_set:
+                net.add_edge(left(i), right(pos[u]), inf_cap)
+
+    # Flow-level tolerance is exactly zero even for floats: Dinic's push
+    # zeroes the bottleneck arc *exactly* (c - c == 0.0 in IEEE), each
+    # augmentation saturates an arc, and phase count is capacity-independent,
+    # so termination does not need a tolerance -- while any positive
+    # tolerance would swallow genuinely tiny capacities (instances here span
+    # 12+ orders of magnitude) and corrupt the extracted cut.
+    dinic_max_flow(net, s, t, zero_tol=0.0)
+    side = max_source_side(net, t, zero_tol=0.0)
+    return {verts[i] for i in range(nh) if left(i) in side}
+
+
+def maximal_bottleneck(
+    g: WeightedGraph,
+    active: Sequence[int] | None = None,
+    backend: Backend = FLOAT,
+) -> tuple[frozenset[int], Scalar]:
+    """Maximal bottleneck of the induced graph on ``active`` (Definition 2).
+
+    Returns ``(B, alpha_min)`` in original vertex ids.  Requires the induced
+    graph to have positive total weight and some edge structure (the callers
+    guarantee no isolated positive-weight vertices; see module notes in
+    ``bottleneck_decomposition``).
+    """
+    if active is None:
+        active = list(g.vertices())
+    active = list(active)
+    if not active:
+        raise DecompositionError("maximal_bottleneck on an empty vertex set")
+
+    active_set = set(active)
+    w_active = g.weight_of(active, backend)
+    if w_active == 0:
+        raise DecompositionError("active set has zero total weight; alpha undefined")
+
+    # lambda_0 = alpha(V_i) (Gamma within the induced graph)
+    gamma_all = g.neighborhood(active) & active_set
+    lam = g.weight_of(gamma_all, backend) / w_active
+
+    # Termination uses *exact* scalar comparison (Fraction or the computed
+    # double), not the backend's structural tolerance: lambda strictly
+    # decreases through achieved ratio values -- a finite set for Fractions
+    # and for IEEE doubles alike -- so the loop provably terminates, and
+    # stopping early at a tolerance would hand back a set that is not a
+    # bottleneck (its allocation flow would not saturate).
+    prev: frozenset[int] | None = None
+    for _ in range(_MAX_DINKELBACH_ITERS):
+        S = _maximal_minimizer(g, active, lam, backend)
+        if not S:
+            # Float-only corner: the last ratio was rounded a hair below the
+            # true minimum, so at this lambda no nonempty set reaches
+            # g_lambda <= 0.  The previous iterate achieved alpha == lambda
+            # to machine precision and is the bottleneck.  (Exact backend
+            # can never get here: lambda >= alpha* is maintained exactly.)
+            if backend.is_exact:
+                raise DecompositionError(
+                    "parametric step returned an empty minimizer with exact "
+                    "arithmetic; this indicates a bug"
+                )
+            return (prev if prev is not None else frozenset(active)), lam
+        wS = g.weight_of(S, backend)
+        if wS == 0:
+            # all-zero-weight minimizer: only possible when the remaining
+            # graph is degenerate; treat as terminal with the current lambda
+            return frozenset(S), lam
+        a = g.weight_of(g.neighborhood(S) & active_set, backend) / wS
+        if a >= lam:
+            return frozenset(S), a
+        lam = a
+        prev = frozenset(S)
+    raise DecompositionError("Dinkelbach iteration did not converge")
+
+
+def bottleneck_decomposition(
+    g: WeightedGraph, backend: Backend = FLOAT
+) -> BottleneckDecomposition:
+    """Full bottleneck decomposition of ``g`` (Definition 2).
+
+    Iteratively extracts the maximal bottleneck ``B_i`` of ``G_i`` and its
+    in-``G_i`` neighborhood ``C_i``, removing both, until no vertices
+    remain.
+
+    Zero-weight corner cases: a zero-weight vertex whose remaining
+    neighbors all sit in the current ``C_i`` is absorbed into ``B_i`` for
+    free by the *maximal* min cut, so (in particular) the paper's Case C-2
+    split vertex ``v^1`` with ``w = 0`` lands in a B class as Lemma 14
+    asserts.  A degenerate all-zero component is emitted as a terminal pair
+    with ``alpha`` equal to the last parametric value.
+    """
+    check_no_isolated(g)
+    if g.total_weight(backend) == 0:
+        raise DecompositionError("graph has zero total weight; sharing is degenerate")
+
+    pairs: list[BottleneckPair] = []
+    active = sorted(g.vertices())
+    index = 1
+    while active:
+        w_active = g.weight_of(active, backend)
+        if w_active == 0:
+            # leftover zero-weight vertices: terminal degenerate pair; they
+            # give and receive nothing.  Keep alpha of the previous pair so
+            # the monotone alphas invariant (Prop 3-(1)) is not violated by
+            # a synthetic value.
+            B = frozenset(active)
+            alpha = pairs[-1].alpha if pairs else backend.scalar(1)
+            pairs.append(BottleneckPair(index, B, B, alpha))
+            break
+        B, alpha = maximal_bottleneck(g, active, backend)
+        active_set = set(active)
+        C = frozenset(g.neighborhood(B) & active_set)
+        members = B | C
+        if not members:
+            raise DecompositionError("empty pair extracted; decomposition stuck")
+        pairs.append(BottleneckPair(index, frozenset(B), C, alpha))
+        active = sorted(active_set - members)
+        index += 1
+    return BottleneckDecomposition(g, pairs, backend)

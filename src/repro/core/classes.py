@@ -1,0 +1,126 @@
+"""B class / C class labelling (Definition 4) with the ring refinement.
+
+For a pair ``(B_i, C_i)`` with ``alpha_i < 1`` membership is unambiguous.
+A terminal pair ``B_k = C_k`` with ``alpha_k = 1`` makes every member *both*
+B and C class; Section III-C's analysis additionally needs a refinement on
+rings/paths: when the induced subgraph of ``B_k`` is a path, classes can be
+assigned alternately (the manipulative agent chosen as C class), and on an
+even ring likewise, while an odd ring admits no proper alternation and all
+vertices stay both-class (the paper's Case C-1 world).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..exceptions import DecompositionError
+from .bottleneck import BottleneckDecomposition
+
+__all__ = ["VertexClass", "classify", "refine_unit_pair"]
+
+
+class VertexClass(Enum):
+    """Class of a vertex under Definition 4."""
+
+    B = "B"
+    C = "C"
+    BOTH = "BC"
+
+    @property
+    def is_b(self) -> bool:
+        return self in (VertexClass.B, VertexClass.BOTH)
+
+    @property
+    def is_c(self) -> bool:
+        return self in (VertexClass.C, VertexClass.BOTH)
+
+
+def classify(decomp: BottleneckDecomposition) -> dict[int, VertexClass]:
+    """Raw Definition-4 classes: B, C, or BOTH (unit pairs)."""
+    out: dict[int, VertexClass] = {}
+    for p in decomp.pairs:
+        for v in p.members():
+            in_b = v in p.B
+            in_c = v in p.C
+            if in_b and in_c:
+                out[v] = VertexClass.BOTH
+            elif in_b:
+                out[v] = VertexClass.B
+            else:
+                out[v] = VertexClass.C
+    return out
+
+
+def refine_unit_pair(
+    decomp: BottleneckDecomposition, prefer_c: int
+) -> dict[int, VertexClass]:
+    """Classes with the Section III-C alternation applied to the unit pair.
+
+    ``prefer_c`` is the vertex (typically the manipulative agent) that the
+    refinement pins to C class; alternation then propagates along the
+    induced path of the ``alpha = 1`` pair.  When the induced subgraph of
+    the unit pair is not 2-colorable with this seed (e.g. an odd cycle),
+    members keep the BOTH label -- exactly the situation the paper handles
+    via its Case C-1.
+
+    Vertices outside the unit pair always keep their unambiguous class.
+    """
+    labels = classify(decomp)
+    if labels.get(prefer_c) is None:
+        raise DecompositionError(f"vertex {prefer_c} not covered by the decomposition")
+    if labels[prefer_c] is not VertexClass.BOTH:
+        return labels
+
+    pair = decomp.pair_of(prefer_c)
+    members = pair.members()
+    g = decomp.graph
+
+    # BFS 2-coloring of the induced subgraph seeded at prefer_c = C
+    color: dict[int, VertexClass] = {prefer_c: VertexClass.C}
+    queue = [prefer_c]
+    ok = True
+    while queue and ok:
+        u = queue.pop()
+        for v in g.neighbors(u):
+            if v not in members:
+                continue
+            want = VertexClass.B if color[u] is VertexClass.C else VertexClass.C
+            if v not in color:
+                color[v] = want
+                queue.append(v)
+            elif color[v] is not want:
+                ok = False
+                break
+    if not ok:
+        return labels  # odd component: alternation impossible, keep BOTH
+
+    for v, c in color.items():
+        labels[v] = c
+
+    # Other connected components of the unit pair's induced subgraph get the
+    # same treatment when they are bipartite, seeded (arbitrarily, as the
+    # paper's "and so on") at their smallest vertex as C class.
+    remaining = sorted(m for m in members if m not in color)
+    while remaining:
+        seed = remaining[0]
+        comp_color: dict[int, VertexClass] = {seed: VertexClass.C}
+        queue = [seed]
+        comp_ok = True
+        while queue and comp_ok:
+            u = queue.pop()
+            for x in g.neighbors(u):
+                if x not in members or x in color:
+                    continue
+                want = VertexClass.B if comp_color[u] is VertexClass.C else VertexClass.C
+                if x not in comp_color:
+                    comp_color[x] = want
+                    queue.append(x)
+                elif comp_color[x] is not want:
+                    comp_ok = False
+                    break
+        if comp_ok:
+            for x, c in comp_color.items():
+                labels[x] = c
+        color.update(comp_color)  # mark visited either way
+        remaining = sorted(m for m in members if m not in color)
+    return labels

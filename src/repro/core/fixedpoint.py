@@ -1,0 +1,83 @@
+"""Fixed-point verification for the proportional response dynamics.
+
+An allocation ``X`` is a fixed point of Definition 1 iff for every directed
+edge ``(v, u)`` with ``U_v(X) > 0``:
+
+    x_vu = x_uv / U_v * w_v.
+
+The BD allocation is *a* fixed point, but Definition 5's max flows are not
+unique and not every saturating flow satisfies the echo condition (a
+directed circulation on a uniform triangle is the canonical counterexample
+-- discovered by this project's property tests and fixed by symmetrizing
+the unit-pair flow).  This module makes the condition a first-class check
+so allocation code can assert it and experiments can report the residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import AllocationError
+from ..numeric import Backend, FLOAT
+from .allocation import Allocation
+
+__all__ = ["FixedPointReport", "fixed_point_residual", "assert_fixed_point"]
+
+
+@dataclass(frozen=True)
+class FixedPointReport:
+    """Residual of the proportional-response fixed point condition."""
+
+    max_residual: float
+    worst_edge: tuple[int, int] | None
+    checked_edges: int
+    skipped_zero_utility: int
+
+    @property
+    def is_fixed_point(self) -> bool:
+        return self.max_residual <= 1e-9
+
+
+def fixed_point_residual(alloc: Allocation, backend: Backend = FLOAT) -> FixedPointReport:
+    """Max violation of ``x_vu = x_uv / U_v * w_v`` over directed edges.
+
+    Edges out of zero-utility vertices are skipped (the response is
+    undefined there; only degenerate zero-weight corners produce them).
+    Residuals are measured relative to the vertex endowment so large and
+    small instances are comparable.
+    """
+    g = alloc.graph
+    worst = 0.0
+    worst_edge: tuple[int, int] | None = None
+    checked = 0
+    skipped = 0
+    for v in g.vertices():
+        uv = alloc.utilities[v]
+        wv = g.weights[v]
+        if uv == 0:
+            skipped += len(g.neighbors(v))
+            continue
+        for u in g.neighbors(v):
+            expect = alloc.x.get((u, v), 0) / uv * wv
+            got = alloc.x.get((v, u), 0)
+            scale = max(1.0, abs(float(wv)))
+            res = abs(float(got) - float(expect)) / scale
+            checked += 1
+            if res > worst:
+                worst, worst_edge = res, (v, u)
+    return FixedPointReport(
+        max_residual=worst,
+        worst_edge=worst_edge,
+        checked_edges=checked,
+        skipped_zero_utility=skipped,
+    )
+
+
+def assert_fixed_point(alloc: Allocation, tol: float = 1e-9, backend: Backend = FLOAT) -> None:
+    """Raise :class:`AllocationError` unless ``alloc`` is a PR fixed point."""
+    report = fixed_point_residual(alloc, backend)
+    if report.max_residual > tol:
+        raise AllocationError(
+            f"allocation is not a proportional-response fixed point: residual "
+            f"{report.max_residual:.3e} at edge {report.worst_edge}"
+        )

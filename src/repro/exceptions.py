@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses map to the major
+subsystems (graphs, flow, decomposition, allocation, attack search) so
+tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidWeightError",
+    "FlowError",
+    "InfeasibleFlowError",
+    "DecompositionError",
+    "AllocationError",
+    "ConvergenceError",
+    "AttackError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Malformed graph structure (bad vertex ids, duplicate edges, ...)."""
+
+
+class InvalidWeightError(GraphError):
+    """A vertex weight is negative, NaN, or otherwise unusable."""
+
+
+class FlowError(ReproError):
+    """A flow computation failed or produced an inconsistent result."""
+
+
+class InfeasibleFlowError(FlowError):
+    """A flow that theory guarantees to saturate did not saturate.
+
+    Raised by the BD allocation when the max flow fails to saturate every
+    source and sink edge of a bottleneck pair network -- with exact
+    arithmetic this indicates the claimed set was not a bottleneck.
+    """
+
+
+class DecompositionError(ReproError):
+    """The bottleneck decomposition could not be computed or verified."""
+
+
+class AllocationError(ReproError):
+    """The BD allocation violates feasibility (negative / over-budget)."""
+
+
+class ConvergenceError(ReproError):
+    """Proportional response dynamics failed to converge within budget."""
+
+
+class AttackError(ReproError):
+    """A Sybil attack / best-response computation was ill-posed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment failed internally."""

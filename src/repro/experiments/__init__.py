@@ -1,0 +1,15 @@
+"""Experiment suite: one module per paper figure/claim (see DESIGN.md)."""
+
+from .base import ExperimentOutput, Table, scale_factor
+
+__all__ = ["ExperimentOutput", "Table", "scale_factor", "EXPERIMENTS",
+           "run_experiment", "run_all"]
+
+
+def __getattr__(name):
+    # registry imports every experiment module; keep package import light
+    if name in ("EXPERIMENTS", "run_experiment", "run_all"):
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

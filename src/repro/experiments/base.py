@@ -1,0 +1,63 @@
+"""Common experiment protocol.
+
+Every experiment module exposes ``run(seed, scale) -> ExperimentOutput``.
+``scale`` selects the sweep size: ``"smoke"`` for CI-speed runs (used by the
+test suite), ``"default"`` for the EXPERIMENTS.md numbers, ``"full"`` for
+overnight-quality sweeps.  Outputs carry printable tables plus structured
+check verdicts so both the CLI and the benchmarks can consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import ExperimentError
+from ..io.tables import format_table
+from ..theory import CheckResult
+
+__all__ = ["Table", "ExperimentOutput", "scale_factor"]
+
+_SCALES = ("smoke", "default", "full")
+
+
+def scale_factor(scale: str) -> int:
+    """Multiplier applied to sweep sizes: smoke=1, default=4, full=16."""
+    if scale not in _SCALES:
+        raise ExperimentError(f"unknown scale {scale!r}; pick one of {_SCALES}")
+    return {"smoke": 1, "default": 4, "full": 16}[scale]
+
+
+@dataclass(frozen=True)
+class Table:
+    """One printable result table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence]
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one experiment produced."""
+
+    exp_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    checks: list[CheckResult] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        for t in self.tables:
+            parts.append(t.render())
+        for c in self.checks:
+            parts.append(f"[{'PASS' if c.ok else 'FAIL'}] {c.name}: {c.details}")
+        return "\n\n".join(parts)

@@ -1,0 +1,67 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ExperimentError
+from .base import ExperimentOutput
+from . import (
+    bounds_comparison,
+    combined_attack,
+    convergence,
+    fig1_example,
+    general_conjecture,
+    multi_identity,
+    spectral_rates,
+    fig2_alpha_curves,
+    fig3_pair_dynamics,
+    fig4_initial_forms,
+    lower_bound_family,
+    stage_inequalities,
+    structure_checks,
+    thm8_ratio,
+    truthfulness,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+#: Experiment id -> module (each module exposes EXP_ID, TITLE, run()).
+EXPERIMENTS = {
+    m.EXP_ID: m
+    for m in (
+        fig1_example,
+        fig2_alpha_curves,
+        fig3_pair_dynamics,
+        fig4_initial_forms,
+        thm8_ratio,
+        lower_bound_family,
+        bounds_comparison,
+        convergence,
+        truthfulness,
+        stage_inequalities,
+        structure_checks,
+        general_conjecture,
+        multi_identity,
+        spectral_rates,
+        combined_attack,
+    )
+}
+
+
+def run_experiment(exp_id: str, seed: int = 0, scale: str = "default") -> ExperimentOutput:
+    """Run one experiment by id (e.g. ``"EXP-T8"``)."""
+    from .base import scale_factor
+
+    scale_factor(scale)  # validate up front, even for experiments that ignore it
+    mod = EXPERIMENTS.get(exp_id.upper())
+    if mod is None:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return mod.run(seed=seed, scale=scale)
+
+
+def run_all(seed: int = 0, scale: str = "default") -> list[ExperimentOutput]:
+    """Run the whole suite in registry order."""
+    return [mod.run(seed=seed, scale=scale) for mod in EXPERIMENTS.values()]

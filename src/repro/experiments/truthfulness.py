@@ -1,0 +1,75 @@
+"""EXP-T10: Theorem 10 -- misreporting never profits (and U_v(x) is monotone).
+
+The Sybil analysis leans on [7]'s truthfulness theorem at every stage; this
+experiment verifies it wholesale: for random rings *and* general graphs,
+the utility curve U_v(x) over reports x in [0, w_v] is monotone
+non-decreasing (so the truthful report w_v is optimal and the misreporting
+incentive ratio is exactly 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attack import utility_curve
+from ..core import bd_allocation
+from ..graphs import random_connected_graph, random_ring
+from ..numeric import FLOAT
+from ..theory import CheckResult
+from .base import ExperimentOutput, Table, scale_factor
+
+EXP_ID = "EXP-T10"
+TITLE = "Theorem 10: U_v(x) monotone; misreporting incentive ratio = 1"
+
+
+def run(seed: int = 0, scale: str = "default") -> ExperimentOutput:
+    k = scale_factor(scale)
+    rng = np.random.default_rng(seed)
+    families = [
+        ("ring", lambda n: random_ring(n, rng, "loguniform", 0.05, 20)),
+        ("general", lambda n: random_connected_graph(n, n // 2, rng, "loguniform", 0.05, 20)),
+    ]
+    samples = 17
+    rows = []
+    monotone_failures = 0
+    worst_gain = 0.0
+    for fam, make in families:
+        checked = 0
+        max_jump = 0.0
+        for _ in range(4 * k):
+            n = int(rng.integers(3, 9))
+            g = make(n)
+            v = int(rng.integers(0, n))
+            wv = float(g.weights[v])
+            xs = [wv * i / (samples - 1) for i in range(samples)]
+            curve = [float(u) for u in utility_curve(g, v, xs, FLOAT)]
+            truthful = float(bd_allocation(g, backend=FLOAT).utilities[v])
+            checked += 1
+            for i in range(len(curve) - 1):
+                drop = curve[i] - curve[i + 1]
+                if drop > 1e-7 * max(1.0, curve[i]):
+                    monotone_failures += 1
+                max_jump = max(max_jump, abs(curve[i + 1] - curve[i]))
+            gain = (max(curve) - truthful) / max(truthful, 1e-12)
+            worst_gain = max(worst_gain, gain)
+        rows.append([fam, checked, samples, monotone_failures, worst_gain])
+    table = Table(
+        title="Misreport sweep census",
+        headers=["family", "instances", "grid", "monotonicity violations", "max relative gain"],
+        rows=rows,
+    )
+    monotone = CheckResult(
+        name="U_v(x) monotone non-decreasing",
+        ok=monotone_failures == 0,
+        details=f"{monotone_failures} violations",
+        data={},
+    )
+    truthful = CheckResult(
+        name="misreporting incentive ratio = 1",
+        ok=worst_gain <= 1e-7,
+        details=f"max relative gain over truthful: {worst_gain:.2e}",
+        data={"worst_gain": worst_gain},
+    )
+    return ExperimentOutput(exp_id=EXP_ID, title=TITLE, tables=[table],
+                            checks=[monotone, truthful],
+                            data={"worst_gain": worst_gain})

@@ -1,0 +1,21 @@
+"""Max-flow substrate: residual network plus three independent solvers."""
+
+from .network import FlowNetwork
+from .dinic import dinic_max_flow
+from .edmonds_karp import edmonds_karp_max_flow
+from .push_relabel import push_relabel_max_flow
+from .mincut import min_source_side, max_source_side, cut_value
+from .verify import assert_valid_flow, node_inflow, node_outflow
+
+__all__ = [
+    "FlowNetwork",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "push_relabel_max_flow",
+    "min_source_side",
+    "max_source_side",
+    "cut_value",
+    "assert_valid_flow",
+    "node_inflow",
+    "node_outflow",
+]

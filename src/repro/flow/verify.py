@@ -1,0 +1,57 @@
+"""Flow verification utilities (used by tests and by the BD allocation).
+
+A solved network is checked for the three flow axioms: capacity respect,
+skew-symmetric residual consistency (implied by the arc pairing), and
+conservation at every non-terminal node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import FlowError
+from .network import FlowNetwork
+
+__all__ = ["assert_valid_flow", "node_outflow", "node_inflow"]
+
+
+def node_outflow(net: FlowNetwork, u: int):
+    """Total flow leaving ``u`` on forward arcs."""
+    total = 0
+    for arc in net.adj[u]:
+        if arc % 2 == 0:
+            total = total + net.flow_on(arc)
+    return total
+
+
+def node_inflow(net: FlowNetwork, u: int):
+    """Total flow entering ``u`` on forward arcs."""
+    total = 0
+    for arc in net.adj[u]:
+        if arc % 2 == 1:  # pair of a forward arc ending at u
+            total = total + net.flow_on(arc ^ 1)
+    return total
+
+
+def assert_valid_flow(net: FlowNetwork, s: int, t: int, tol: float = 0.0) -> None:
+    """Raise :class:`FlowError` unless the routed flow is feasible.
+
+    ``tol`` absorbs float round-off; pass 0 for exact capacities.
+    """
+    # NOTE: tol is only mixed into comparisons when non-zero -- adding a
+    # float 0.0 to a Fraction would coerce to float and break exactness.
+    for arc in range(0, net.num_arcs, 2):
+        f = net.flow_on(arc)
+        if (f < -tol) if tol else (f < 0):
+            raise FlowError(f"negative flow {f!r} on arc {arc}")
+        c = net.orig_cap[arc]
+        if isinstance(c, float) and math.isinf(c):
+            continue
+        if (f > c + tol) if tol else (f > c):
+            raise FlowError(f"flow {f!r} exceeds capacity {c!r} on arc {arc}")
+    for u in range(net.n):
+        if u in (s, t):
+            continue
+        imbalance = node_inflow(net, u) - node_outflow(net, u)
+        if (abs(imbalance) > tol) if tol else (imbalance != 0):
+            raise FlowError(f"conservation violated at node {u}: {imbalance!r}")

@@ -1,0 +1,45 @@
+"""Graph substrate: weighted undirected graphs, builders, ring helpers."""
+
+from .weighted_graph import WeightedGraph
+from .builders import (
+    ring,
+    path,
+    star,
+    complete,
+    grid2d,
+    random_weights,
+    random_ring,
+    random_connected_graph,
+    from_edge_list,
+)
+from .rings import (
+    ring_order,
+    ring_neighbors,
+    path_order,
+    path_endpoints,
+    cut_ring_at,
+    honest_ids_after_cut,
+)
+from .validation import require_positive_weights, require_ring, check_no_isolated
+
+__all__ = [
+    "WeightedGraph",
+    "ring",
+    "path",
+    "star",
+    "complete",
+    "grid2d",
+    "random_weights",
+    "random_ring",
+    "random_connected_graph",
+    "from_edge_list",
+    "ring_order",
+    "ring_neighbors",
+    "path_order",
+    "path_endpoints",
+    "cut_ring_at",
+    "honest_ids_after_cut",
+    "require_positive_weights",
+    "require_ring",
+    "check_no_isolated",
+]

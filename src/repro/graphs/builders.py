@@ -1,0 +1,164 @@
+"""Constructors for the graph families used across the experiments.
+
+The paper's theorems are about rings, but the substrate (bottleneck
+decomposition, BD allocation, dynamics) is defined for arbitrary graphs, so
+the test suite exercises it on paths, stars, complete and random graphs too.
+All randomness flows through an explicit ``numpy.random.Generator`` for
+reproducibility (no hidden global RNG state -- sweeps are seeded per cell).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..numeric import Scalar
+from .weighted_graph import WeightedGraph
+
+__all__ = [
+    "ring",
+    "path",
+    "star",
+    "complete",
+    "grid2d",
+    "random_weights",
+    "random_ring",
+    "random_connected_graph",
+    "from_edge_list",
+]
+
+
+def ring(weights: Sequence[Scalar], labels: Sequence[str] | None = None) -> WeightedGraph:
+    """Cycle ``v0 - v1 - ... - v_{n-1} - v0`` with the given weights."""
+    n = len(weights)
+    if n < 3:
+        raise GraphError(f"a ring needs >= 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return WeightedGraph(n, edges, weights, labels)
+
+
+def path(weights: Sequence[Scalar], labels: Sequence[str] | None = None) -> WeightedGraph:
+    """Simple path ``v0 - v1 - ... - v_{n-1}``."""
+    n = len(weights)
+    if n < 2:
+        raise GraphError(f"a path needs >= 2 vertices, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return WeightedGraph(n, edges, weights, labels)
+
+
+def star(center_weight: Scalar, leaf_weights: Sequence[Scalar]) -> WeightedGraph:
+    """Star with vertex 0 at the center."""
+    k = len(leaf_weights)
+    if k < 1:
+        raise GraphError("a star needs at least one leaf")
+    edges = [(0, i + 1) for i in range(k)]
+    return WeightedGraph(k + 1, edges, [center_weight, *leaf_weights])
+
+
+def complete(weights: Sequence[Scalar]) -> WeightedGraph:
+    """Complete graph K_n."""
+    n = len(weights)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return WeightedGraph(n, edges, weights)
+
+
+def grid2d(rows: int, cols: int, weights: Sequence[Scalar]) -> WeightedGraph:
+    """``rows x cols`` grid; vertex ``(r, c)`` has id ``r*cols + c``."""
+    n = rows * cols
+    if len(weights) != n:
+        raise GraphError(f"grid2d({rows},{cols}) needs {n} weights, got {len(weights)}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return WeightedGraph(n, edges, weights)
+
+
+def random_weights(
+    n: int,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+    low: float = 0.1,
+    high: float = 10.0,
+) -> list[float]:
+    """Draw ``n`` positive weights.
+
+    ``distribution`` is one of:
+
+    * ``"uniform"`` -- Uniform(low, high);
+    * ``"loguniform"`` -- exp(Uniform(log low, log high)), heavy spread, the
+      regime where worst-case incentive ratios live;
+    * ``"integer"`` -- uniform integers in [max(1,int(low)), int(high)],
+      convenient for exact-backend tests;
+    * ``"equal"`` -- all weights equal to ``high``.
+    """
+    if distribution == "uniform":
+        return list(rng.uniform(low, high, size=n))
+    if distribution == "loguniform":
+        return list(np.exp(rng.uniform(np.log(low), np.log(high), size=n)))
+    if distribution == "integer":
+        lo = max(1, int(low))
+        return [int(x) for x in rng.integers(lo, int(high) + 1, size=n)]
+    if distribution == "equal":
+        return [float(high)] * n
+    raise GraphError(f"unknown weight distribution {distribution!r}")
+
+
+def random_ring(
+    n: int,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+    low: float = 0.1,
+    high: float = 10.0,
+) -> WeightedGraph:
+    """Ring on ``n`` vertices with random weights (see :func:`random_weights`)."""
+    return ring(random_weights(n, rng, distribution, low, high))
+
+
+def random_connected_graph(
+    n: int,
+    extra_edges: int,
+    rng: np.random.Generator,
+    distribution: str = "uniform",
+    low: float = 0.1,
+    high: float = 10.0,
+) -> WeightedGraph:
+    """Random connected graph: a random spanning tree plus ``extra_edges``.
+
+    Spanning tree via random attachment (each new vertex links to a uniform
+    earlier vertex), then extra non-duplicate edges drawn uniformly.  This is
+    the general-graph workload for the substrate tests (the paper's theorem
+    is ring-only, but Props. 3/6 and Thm. 10 hold on any graph).
+    """
+    if n < 1:
+        raise GraphError("need at least one vertex")
+    edges: set[tuple[int, int]] = set()
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        edges.add((u, v))
+    possible = n * (n - 1) // 2 - len(edges)
+    extra = min(extra_edges, possible)
+    while extra > 0:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in edges:
+            continue
+        edges.add(key)
+        extra -= 1
+    return WeightedGraph(n, sorted(edges), random_weights(n, rng, distribution, low, high))
+
+
+def from_edge_list(
+    edges: Sequence[tuple[int, int]], weights: Sequence[Scalar]
+) -> WeightedGraph:
+    """Thin convenience wrapper matching the paper's ``G = (V, E; w)``."""
+    return WeightedGraph(len(weights), edges, weights)

@@ -1,0 +1,34 @@
+"""Structural validation helpers shared by tests and experiments."""
+
+from __future__ import annotations
+
+from ..exceptions import GraphError, InvalidWeightError
+from .weighted_graph import WeightedGraph
+
+__all__ = ["require_positive_weights", "require_ring", "check_no_isolated"]
+
+
+def require_positive_weights(g: WeightedGraph) -> None:
+    """Raise unless every weight is strictly positive.
+
+    The paper's original instances have ``w_v > 0``; zeros appear only on
+    split/misreported vertices.  Experiments that sample "honest" instances
+    call this to guard their generators.
+    """
+    for v, w in enumerate(g.weights):
+        if not w > 0:
+            raise InvalidWeightError(f"vertex {v} has non-positive weight {w!r}")
+
+
+def require_ring(g: WeightedGraph) -> None:
+    if not g.is_ring():
+        raise GraphError("expected a ring graph")
+
+
+def check_no_isolated(g: WeightedGraph) -> None:
+    """Isolated vertices have no one to exchange with; Gamma(S) arguments
+    break down.  The decomposition refuses them explicitly rather than
+    producing a pair with an empty neighbor set."""
+    for v in g.vertices():
+        if g.degree(v) == 0:
+            raise GraphError(f"vertex {v} is isolated; resource sharing is undefined")

@@ -1,0 +1,22 @@
+"""Table rendering and instance/result serialization."""
+
+from .tables import format_float, format_table
+from .serialization import (
+    dump_graph,
+    dump_result,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_result,
+)
+
+__all__ = [
+    "format_float",
+    "format_table",
+    "dump_graph",
+    "dump_result",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "load_result",
+]

@@ -1,0 +1,92 @@
+"""JSON round-trips for instances and experiment results.
+
+Weights serialize as exact strings (``"3/7"`` for Fractions, ``repr`` for
+floats) so an instance archived by one run reproduces bit-identically in the
+next -- essential for regression-tracking worst-case instances discovered by
+the search.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from ..exceptions import ReproError
+from ..graphs import WeightedGraph
+from ..numeric import Scalar
+
+__all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph",
+           "dump_result", "load_result"]
+
+
+def _scalar_to_json(w: Scalar) -> Any:
+    if isinstance(w, Fraction):
+        return {"frac": f"{w.numerator}/{w.denominator}"}
+    if isinstance(w, float):
+        return {"float": w.hex()}
+    return w  # int
+
+
+def _scalar_from_json(obj: Any) -> Scalar:
+    if isinstance(obj, dict):
+        if "frac" in obj:
+            num, den = obj["frac"].split("/")
+            return Fraction(int(num), int(den))
+        if "float" in obj:
+            return float.fromhex(obj["float"])
+        raise ReproError(f"unknown scalar encoding {obj!r}")
+    if isinstance(obj, (int, float)):
+        return obj
+    raise ReproError(f"unknown scalar encoding {obj!r}")
+
+
+def graph_to_dict(g: WeightedGraph) -> dict:
+    """Structured representation of a graph (edges, weights, labels)."""
+    return {
+        "n": g.n,
+        "edges": [list(e) for e in g.edges],
+        "weights": [_scalar_to_json(w) for w in g.weights],
+        "labels": list(g.labels),
+    }
+
+
+def graph_from_dict(d: dict) -> WeightedGraph:
+    try:
+        return WeightedGraph(
+            d["n"],
+            [tuple(e) for e in d["edges"]],
+            [_scalar_from_json(w) for w in d["weights"]],
+            d.get("labels"),
+        )
+    except KeyError as exc:
+        raise ReproError(f"missing graph field {exc}") from exc
+
+
+def dump_graph(g: WeightedGraph, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(graph_to_dict(g), f, indent=2)
+
+
+def load_graph(path: str) -> WeightedGraph:
+    with open(path) as f:
+        return graph_from_dict(json.load(f))
+
+
+def dump_result(result: dict, path: str) -> None:
+    """Persist an experiment result dict (floats/ints/strings/lists only)."""
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, default=_default)
+
+
+def load_result(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def _default(obj):
+    if isinstance(obj, Fraction):
+        return float(obj)
+    if hasattr(obj, "__dict__"):
+        return vars(obj)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+Experiments print paper-style rows to stdout (and EXPERIMENTS.md records
+them); this module renders aligned ASCII tables without any third-party
+dependency so the harness works in minimal environments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(x, digits: int = 6) -> str:
+    """Compact float formatting: fixed for moderate magnitudes, scientific
+    for extreme ones, integers unadorned."""
+    if x is None:
+        return "-"
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    try:
+        xf = float(x)
+    except (TypeError, ValueError):
+        return str(x)
+    if xf == 0:
+        return "0"
+    mag = abs(xf)
+    if 1e-4 <= mag < 1e7:
+        s = f"{xf:.{digits}g}"
+    else:
+        s = f"{xf:.{max(2, digits - 2)}e}"
+    return s
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    digits: int = 6,
+) -> str:
+    """Render an aligned table with a header rule.
+
+    Cells are stringified via :func:`format_float`; column widths adapt.
+    """
+    str_rows = [[format_float(c, digits) if not isinstance(c, str) else c for c in row]
+                for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Numeric backend adapters: exact ``Fraction`` vs tolerance-aware ``float``.
+
+The bottleneck decomposition, the BD allocation, and the theory checkers are
+all generic over the scalar type.  Two backends are provided:
+
+``EXACT``
+    Python :class:`fractions.Fraction`.  Every comparison is exact, which is
+    what the combinatorial structure of Definition 2 needs: the *maximal*
+    bottleneck is defined through exact ties in the alpha-ratio, and a float
+    epsilon would silently merge or split pairs.  Used for theory/property
+    checks and small-to-medium instances.
+
+``FLOAT``
+    IEEE doubles with an explicit absolute tolerance.  Used by the large
+    parameter sweeps and the NumPy-vectorized dynamics simulator where the
+    Fraction denominators would otherwise grow without bound.
+
+The adapters deliberately expose only the handful of operations the
+algorithms need (conversion, comparisons, zero/one), keeping the hot paths
+free of ``isinstance`` dispatch: callers grab the backend once and use plain
+arithmetic on the scalars it hands out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+__all__ = [
+    "Scalar",
+    "Backend",
+    "EXACT",
+    "FLOAT",
+    "make_float_backend",
+    "as_fraction",
+    "as_fractions",
+    "DEFAULT_TOL",
+]
+
+#: Scalar values accepted as vertex weights anywhere in the library.
+Scalar = Union[int, float, Fraction]
+
+#: Default absolute tolerance of the float backend.  Alpha-ratios on the
+#: instances we sweep are O(1), so 1e-9 comfortably separates genuinely
+#: distinct ratios while absorbing flow round-off.
+DEFAULT_TOL = 1e-9
+
+
+def as_fraction(x: Scalar) -> Fraction:
+    """Convert ``x`` to an exact :class:`Fraction`.
+
+    Floats convert via :meth:`Fraction.from_float` (exact binary value), so a
+    caller that wants "nice" rationals should pass ints, strings via
+    ``Fraction``, or Fractions directly.
+    """
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, float):
+        if math.isnan(x) or math.isinf(x):
+            raise ValueError(f"cannot convert non-finite float {x!r} to Fraction")
+        return Fraction(x).limit_denominator(10**12)
+    raise TypeError(f"unsupported scalar type {type(x).__name__}")
+
+
+def as_fractions(xs: Iterable[Scalar]) -> list[Fraction]:
+    """Vectorized :func:`as_fraction`."""
+    return [as_fraction(x) for x in xs]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A numeric backend: scalar constructor plus tolerance-aware predicates.
+
+    Attributes
+    ----------
+    name:
+        ``"exact"`` or ``"float"`` (float backends may carry a custom tol in
+        the name for debugging).
+    tol:
+        Absolute tolerance used by the comparison predicates.  Zero for the
+        exact backend.
+    """
+
+    name: str
+    tol: float
+
+    @property
+    def is_exact(self) -> bool:
+        return self.tol == 0
+
+    # -- conversion ------------------------------------------------------
+    def scalar(self, x: Scalar):
+        """Convert ``x`` into this backend's scalar type."""
+        if self.is_exact:
+            return as_fraction(x)
+        return float(x)
+
+    def scalars(self, xs: Iterable[Scalar]) -> list:
+        return [self.scalar(x) for x in xs]
+
+    # -- predicates ------------------------------------------------------
+    def eq(self, a, b) -> bool:
+        """``a == b`` up to tolerance."""
+        if self.is_exact:
+            return a == b
+        return abs(a - b) <= self.tol
+
+    def lt(self, a, b) -> bool:
+        """Strict ``a < b`` beyond tolerance."""
+        if self.is_exact:
+            return a < b
+        return a < b - self.tol
+
+    def le(self, a, b) -> bool:
+        """``a <= b`` up to tolerance."""
+        return not self.lt(b, a)
+
+    def gt(self, a, b) -> bool:
+        return self.lt(b, a)
+
+    def ge(self, a, b) -> bool:
+        return self.le(b, a)
+
+    def is_zero(self, a) -> bool:
+        return self.eq(a, 0)
+
+    def nonneg(self, a) -> bool:
+        return self.ge(a, 0)
+
+    # -- aggregation -----------------------------------------------------
+    def total(self, xs: Sequence) -> Scalar:
+        """Sum with the backend's scalar zero (Fraction(0) or 0.0)."""
+        acc = self.scalar(0)
+        for x in xs:
+            acc = acc + x
+        return acc
+
+
+#: Exact Fraction backend (tolerance zero).
+EXACT = Backend(name="exact", tol=0.0)
+
+#: Default float backend.
+FLOAT = Backend(name="float", tol=DEFAULT_TOL)
+
+
+def make_float_backend(tol: float) -> Backend:
+    """Build a float backend with a custom absolute tolerance.
+
+    Sweeps over extreme weights (the lower-bound family pushes weights to
+    1e-6..1e6) sometimes need a looser or tighter tol; this keeps the choice
+    explicit at the call site instead of a module-level mutable default.
+    """
+    if not (tol > 0) or not math.isfinite(tol):
+        raise ValueError(f"tolerance must be a positive finite float, got {tol!r}")
+    return Backend(name=f"float(tol={tol:g})", tol=tol)

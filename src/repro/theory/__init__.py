@@ -1,0 +1,53 @@
+"""Executable counterparts of the paper's structural results."""
+
+from .breakpoints import (
+    Regime,
+    decomposition_signature,
+    regimes_of_report,
+    regimes_of_split,
+    sweep_regimes,
+)
+from .adjusting import AdjustedStart, adjusting_technique, same_pair
+from .stages import InitialForm, StageReport, classify_initial_form, ring_class_of, stage_report
+from .propositions import (
+    CheckResult,
+    check_proposition3,
+    check_proposition6,
+    check_proposition11,
+    check_proposition12,
+)
+from .lemmas import (
+    check_lemma9,
+    check_lemma13,
+    check_lemma15,
+    check_stage_lemmas,
+    check_theorem8,
+    check_theorem10,
+)
+
+__all__ = [
+    "Regime",
+    "decomposition_signature",
+    "regimes_of_report",
+    "regimes_of_split",
+    "sweep_regimes",
+    "AdjustedStart",
+    "adjusting_technique",
+    "same_pair",
+    "InitialForm",
+    "StageReport",
+    "classify_initial_form",
+    "ring_class_of",
+    "stage_report",
+    "CheckResult",
+    "check_proposition3",
+    "check_proposition6",
+    "check_proposition11",
+    "check_proposition12",
+    "check_lemma9",
+    "check_lemma13",
+    "check_lemma15",
+    "check_stage_lemmas",
+    "check_theorem8",
+    "check_theorem10",
+]

@@ -1,0 +1,43 @@
+"""Tests for the process-parallel sweep executor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import parallel_incentive_sweep, parallel_map
+from repro.analysis.parallel import _ratio_cell
+from repro.graphs import random_ring
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_serial_path():
+    assert parallel_map(_square, [1, 2, 3], processes=0) == [1, 4, 9]
+
+
+def test_parallel_map_single_item_stays_serial():
+    assert parallel_map(_square, [5], processes=4) == [25]
+
+
+def test_parallel_map_matches_serial_with_processes():
+    items = list(range(12))
+    serial = parallel_map(_square, items, processes=0)
+    parallel = parallel_map(_square, items, processes=2, chunksize=3)
+    assert serial == parallel
+
+
+def test_ratio_cell_picklable_and_correct():
+    g = random_ring(4, np.random.default_rng(0), "integer", 1, 9)
+    r = _ratio_cell((g, 0, 12))
+    assert 1.0 - 1e-9 <= r <= 2.0 + 1e-6
+
+
+def test_parallel_incentive_sweep_matches_serial():
+    rng = np.random.default_rng(1)
+    graphs = [random_ring(int(rng.integers(3, 6)), rng, "loguniform", 0.1, 10)
+              for _ in range(3)]
+    serial = parallel_incentive_sweep(graphs, grid=12, processes=0)
+    par = parallel_incentive_sweep(graphs, grid=12, processes=2)
+    assert serial == par
+    assert all(1.0 - 1e-9 <= z <= 2.0 + 1e-6 for z in serial)

@@ -1,0 +1,95 @@
+"""Tests for the spectral convergence-rate analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dynamics_jacobian,
+    predicted_iterations,
+    spectral_report,
+)
+from repro.core import bd_allocation, proportional_response
+from repro.exceptions import ReproError
+from repro.graphs import path, random_ring, ring
+from repro.numeric import FLOAT
+
+
+def test_jacobian_shape_and_fixed_point_property():
+    g = ring([1.0, 2.0, 3.0])
+    J = dynamics_jacobian(g)
+    assert J.shape == (6, 6)
+    # F(x*) = x*, and differentiating the scale invariance F(t x) = ... the
+    # equilibrium allocation x* is an eigenvector of J with eigenvalue 1:
+    # F is positively homogeneous of degree 0 in x? No: check numerically
+    # that x* is fixed and J has an eigenvalue 1.
+    lams = np.linalg.eigvals(J)
+    assert np.any(np.abs(lams - 1.0) < 1e-8)
+
+
+def test_jacobian_matches_finite_differences():
+    g = ring([1.0, 2.0, 3.0, 4.0, 5.0])
+    from repro.core.dynamics import _edge_arrays
+
+    src, dst, rev, index = _edge_arrays(g)
+    alloc = bd_allocation(g, backend=FLOAT)
+    x0 = np.zeros(len(src))
+    for (a, b), i in index.items():
+        x0[i] = float(alloc.x.get((a, b), 0.0))
+    w = np.asarray([float(t) for t in g.weights])
+
+    def F(x):
+        util = np.bincount(dst, weights=x, minlength=g.n)
+        return x[rev] / util[src] * w[src]
+
+    J = dynamics_jacobian(g, x0)
+    eps = 1e-7
+    for col in range(0, len(src), 3):
+        xp = x0.copy()
+        xp[col] += eps
+        fd = (F(xp) - F(x0)) / eps
+        assert np.allclose(J[:, col], fd, atol=1e-5)
+
+
+def test_even_ring_has_minus_one_mode():
+    g = random_ring(6, np.random.default_rng(0), "uniform", 0.5, 4.0)
+    rep = spectral_report(g)
+    assert rep.has_minus_one
+    assert rep.unit_multiplicity >= 1
+
+
+def test_odd_ring_minus_one_is_possible_but_not_universal():
+    """Odd rings are not bipartite, yet the edge-level update can still
+    carry a swap-antisymmetric -1 mode (near-unit-pair instances do); the
+    specific instances below pin both behaviours."""
+    no_mode = random_ring(5, np.random.default_rng(0), "uniform", 0.5, 4.0)
+    assert not spectral_report(no_mode).has_minus_one
+    carries = ring([0.558, 3.346, 3.695])  # unit-pair triangle
+    assert spectral_report(carries).has_minus_one
+
+
+def test_damping_shrinks_minus_one():
+    g = ring([1.0, 2.0, 1.0, 2.0])
+    rep = spectral_report(g)
+    assert rep.has_minus_one
+    assert rep.damped_rho(0.3) < 1.0
+
+
+def test_prediction_vs_measurement_same_ballpark():
+    g = random_ring(5, np.random.default_rng(3), "uniform", 0.5, 4.0)
+    rep = spectral_report(g)
+    raw = proportional_response(g, max_iters=400_000, tol=1e-10)
+    pred = predicted_iterations(rep.rho, 1e-10)
+    assert raw.iterations <= 8 * pred + 50
+    assert pred <= 8 * raw.iterations + 50
+
+
+def test_predicted_iterations_edge_cases():
+    assert predicted_iterations(0.0, 1e-10) == 1.0
+    assert predicted_iterations(1.0, 1e-10) == float("inf")
+    assert predicted_iterations(0.5, 1e-3) == pytest.approx(np.log(1e-3) / np.log(0.5))
+
+
+def test_jacobian_rejects_zero_utility():
+    g = path([0.0, 0.0, 1.0])
+    with pytest.raises(ReproError):
+        dynamics_jacobian(g)

@@ -1,0 +1,53 @@
+"""Tests for combined split + under-reporting attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attack import best_combined_split, best_split, combined_attacker_utility
+from repro.exceptions import AttackError
+from repro.graphs import path, random_ring, ring
+
+
+def test_combined_utility_matches_split_on_diagonal():
+    from repro.attack import attacker_utility
+
+    g = ring([4.0, 1.0, 2.0, 3.0])
+    u_combined = combined_attacker_utility(g, 0, 2.5, 1.5)
+    u_split = float(attacker_utility(g, 0, 2.5, 1.5))
+    assert u_combined == pytest.approx(u_split, rel=1e-12)
+
+
+def test_combined_rejects_infeasible():
+    g = ring([4.0, 1.0, 2.0, 3.0])
+    with pytest.raises(AttackError):
+        combined_attacker_utility(g, 0, 3.0, 2.0)  # sums above w_v
+    with pytest.raises(AttackError):
+        combined_attacker_utility(g, 0, -1.0, 1.0)
+
+
+def test_best_combined_at_least_diagonal():
+    rng = np.random.default_rng(1)
+    g = random_ring(5, rng, "loguniform", 0.1, 10)
+    r = best_combined_split(g, 0, grid=16)
+    assert r.utility >= r.diagonal_utility - 1e-9
+    assert r.ratio <= 2.0 + 1e-6
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_hiding_never_profits(seed):
+    rng = np.random.default_rng(seed)
+    g = random_ring(int(rng.integers(3, 7)), rng, "loguniform", 0.05, 20)
+    v = int(rng.integers(0, g.n))
+    r = best_combined_split(g, v, grid=12, refine=2)
+    assert r.hiding_gain <= 1e-9 * max(1.0, r.honest_utility)
+
+
+def test_best_combined_requires_ring():
+    with pytest.raises(Exception):
+        best_combined_split(path([1.0, 1.0, 1.0]), 0)
+
+
+def test_zero_weight_combined():
+    g = ring([0.0, 1.0, 2.0])
+    r = best_combined_split(g, 0, grid=4)
+    assert r.utility == 0.0 and r.ratio == 1.0

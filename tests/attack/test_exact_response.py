@@ -1,0 +1,129 @@
+"""Tests for the exact rational best-response optimizer."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.attack import best_split, exact_attacker_utility, exact_best_split
+from repro.attack.exact_response import (
+    _Rational,
+    _bisect_roots,
+    _exact_sqrt,
+    _interpolate_rational,
+    _maximize_piece,
+    _poly_eval,
+    _roots_in,
+)
+from repro.graphs import random_ring, ring
+
+F = Fraction
+
+
+# -- polynomial / rational helpers ------------------------------------------
+
+def test_poly_eval_horner():
+    assert _poly_eval([F(1), F(2), F(3)], F(2)) == 1 + 4 + 12
+
+
+def test_rational_call_and_derivative():
+    # f = (1 + w^2) / (1 + w): f' numerator = 2w(1+w) - (1+w^2) = w^2 + 2w - 1
+    rat = _Rational(p=(F(1), F(0), F(1)), q=(F(1), F(1)))
+    assert rat(F(2)) == F(5, 3)
+    dn = rat.derivative_numerator()
+    assert _poly_eval(dn, F(1)) == 2  # 1 + 2 - 1
+    assert _poly_eval(dn, F(0)) == -1
+
+
+def test_exact_sqrt():
+    assert _exact_sqrt(F(9, 4)) == F(3, 2)
+    assert _exact_sqrt(F(2)) is None
+    assert _exact_sqrt(F(-1)) is None
+
+
+def test_roots_linear_and_quadratic():
+    assert _roots_in([F(-2), F(1)], F(0), F(5)) == [F(2)]
+    # (w-1)(w-3) = 3 - 4w + w^2
+    roots = _roots_in([F(3), F(-4), F(1)], F(0), F(5))
+    assert sorted(roots) == [F(1), F(3)]
+    # no real roots
+    assert _roots_in([F(1), F(0), F(1)], F(0), F(5)) == []
+    # constant / zero polynomial
+    assert _roots_in([F(7)], F(0), F(1)) == []
+    assert _roots_in([F(0)], F(0), F(1)) == []
+
+
+def test_bisect_roots_cubic():
+    # w^3 - w = w(w-1)(w+1): roots 0 and 1 inside [0, 2]
+    f = lambda w: w**3 - w
+    roots = _bisect_roots(f, F(0), F(2))
+    assert any(abs(float(r)) < 1e-12 for r in roots)
+    assert any(abs(float(r) - 1) < 1e-12 for r in roots)
+
+
+def test_interpolate_recovers_rational():
+    target = _Rational(p=(F(1), F(2), F(0), F(1)), q=(F(3), F(1), F(1)))
+    fit = _interpolate_rational(lambda w: target(w), F(0), F(4))
+    assert fit is not None
+    for w in (F(1, 7), F(9, 5), F(31, 8)):
+        assert fit(w) == target(w)
+
+
+def test_interpolate_rejects_non_rational():
+    # |w - 2| is not a (3,2)-rational function on [0, 4]
+    fit = _interpolate_rational(lambda w: abs(w - 2), F(0), F(4))
+    assert fit is None
+
+
+def test_maximize_piece_interior_peak():
+    # f = w (4 - w): max at w=2, value 4
+    rat = _Rational(p=(F(0), F(4), F(-1)), q=(F(1),))
+    w, val = _maximize_piece(rat, F(0), F(4))
+    assert (w, val) == (F(2), F(4))
+
+
+# -- the optimizer itself ----------------------------------------------------
+
+def test_exact_utility_at_endpoints():
+    g = ring([F(4), F(2), F(3)])
+    full = exact_attacker_utility(g, 0, F(4))
+    zero = exact_attacker_utility(g, 0, F(0))
+    assert full > 0 and zero > 0
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_exact_at_least_float(seed):
+    """The certified optimum can never be *below* the float search (both
+    evaluate true utilities; exact searches a superset of candidates)."""
+    rng = np.random.default_rng(seed)
+    g = random_ring(4, rng, "integer", 1, 9)
+    ge = g.with_weights([F(w) for w in g.weights])
+    ex = exact_best_split(ge, 0, probes=17)
+    fl = best_split(g.with_weights([float(w) for w in g.weights]), 0, grid=48)
+    assert float(ex.ratio) >= fl.ratio - 1e-9
+    assert float(ex.ratio) <= 2.0 + 1e-12
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_exact_matches_float_closely(seed):
+    rng = np.random.default_rng(100 + seed)
+    g = random_ring(5, rng, "integer", 1, 9)
+    ge = g.with_weights([F(w) for w in g.weights])
+    ex = exact_best_split(ge, 0, probes=17)
+    fl = best_split(g.with_weights([float(w) for w in g.weights]), 0, grid=128)
+    assert float(ex.ratio) == pytest.approx(fl.ratio, abs=5e-3)
+
+
+def test_exact_theorem8_bound_is_exact():
+    """On a small adversarial instance the exact ratio is certifiably <= 2
+    as a Fraction comparison, no epsilon."""
+    g = ring([F(1), F(1), F(1, 50), F(1, 50), F(50)])
+    ex = exact_best_split(g, 1, probes=25)
+    assert ex.ratio <= 2
+    assert ex.ratio > F(17, 10)  # the family is already near 2 at H=50
+
+
+def test_exact_zero_weight_attacker():
+    g = ring([F(0), F(1), F(2)])
+    ex = exact_best_split(g, 0)
+    assert ex.utility == 0 and ex.ratio == 1

@@ -1,0 +1,114 @@
+"""Tests for general-graph Sybil attacks (the Section IV conjecture)."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    best_general_split,
+    general_incentive_ratio,
+    neighbor_bipartitions,
+    split_general,
+)
+from repro.core import bd_allocation
+from repro.exceptions import AttackError
+from repro.graphs import WeightedGraph, path, random_connected_graph, ring, star
+from repro.numeric import EXACT, FLOAT
+
+
+def test_split_general_rewires_only_side2():
+    g = star(10.0, [1.0, 2.0, 3.0])
+    out = split_general(g, 0, {2}, 6.0, 4.0)
+    g2 = out.graph
+    assert g2.n == 5
+    assert g2.has_edge(4, 2) and not g2.has_edge(0, 2)
+    assert g2.has_edge(0, 1) and g2.has_edge(0, 3)
+    assert g2.weights[0] == 6.0 and g2.weights[4] == 4.0
+    assert g2.labels[4] == "v0^2"
+
+
+def test_split_general_validations():
+    g = star(10.0, [1.0, 2.0, 3.0])
+    with pytest.raises(AttackError):
+        split_general(g, 0, set(), 5.0, 5.0)  # empty side2
+    with pytest.raises(AttackError):
+        split_general(g, 0, {1, 2, 3}, 5.0, 5.0)  # full set: misreporting
+    with pytest.raises(AttackError):
+        split_general(g, 0, {9}, 5.0, 5.0)  # not a neighbor
+    with pytest.raises(AttackError):
+        split_general(g, 0, {1}, -1.0, 11.0)
+    with pytest.raises(AttackError):
+        split_general(g, 0, {1}, 1.0, 2.0)  # bad sum
+
+
+def test_split_general_on_ring_matches_ring_split():
+    """On a ring the general machinery must reproduce split_ring numbers."""
+    from repro.attack import attacker_utility
+
+    g = ring([4.0, 1.0, 2.0, 3.0])
+    # ring split: v=0, neighbors 1 (side1) and 3 (side2)
+    u_general = float(split_general(g, 0, {3}, 2.5, 1.5).utility)
+    u_ring = float(attacker_utility(g, 0, 2.5, 1.5))
+    assert u_general == pytest.approx(u_ring, rel=1e-12)
+
+
+def test_neighbor_bipartitions_counts():
+    g = star(1.0, [1.0] * 4)  # center degree 4
+    parts = list(neighbor_bipartitions(g, 0))
+    assert len(parts) == 2 ** 3 - 1  # fix one neighbor on side 1
+    assert all(parts.count(p) == 1 for p in parts)
+    # degree-1 vertex: nothing to split
+    assert list(neighbor_bipartitions(g, 1)) == []
+
+
+def test_best_general_split_requires_degree_2():
+    g = path([1.0, 1.0])
+    with pytest.raises(AttackError):
+        best_general_split(g, 0)
+
+
+def test_best_general_split_at_least_honest():
+    rng = np.random.default_rng(2)
+    g = random_connected_graph(6, 2, rng, "uniform", 0.5, 5.0)
+    for v in g.vertices():
+        if g.degree(v) < 2:
+            continue
+        r = best_general_split(g, v, grid=8)
+        assert r.ratio >= 1.0 - 1e-9
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_conjecture_bound_on_random_graphs(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 7))
+    g = random_connected_graph(n, int(rng.integers(0, 4)), rng, "loguniform", 0.05, 20)
+    z, best = general_incentive_ratio(g, grid=12)
+    assert z <= 2.0 + 1e-6
+    assert best.strategies_tried >= 1
+
+
+def test_uniform_clique_no_gain():
+    from repro.graphs import complete
+
+    g = complete([1.0] * 4)
+    z, _ = general_incentive_ratio(g, grid=12)
+    assert z == pytest.approx(1.0, abs=1e-6)
+
+
+def test_general_split_conserves_resource_exact():
+    from fractions import Fraction
+
+    g = star(Fraction(10), [Fraction(1), Fraction(2), Fraction(3)])
+    out = split_general(g, 0, {1}, Fraction(7), Fraction(3), EXACT)
+    assert sum(out.graph.weights) == sum(g.weights)
+    alloc = bd_allocation(out.graph, backend=EXACT)
+    assert sum(alloc.utilities) == sum(g.weights)
+
+
+def test_zero_weight_attacker_general():
+    # Definition 5 corner: an alpha = 0 pair still saturates the B side, so
+    # a zero-weight center *receives* w(B) while returning nothing -- and a
+    # Sybil split cannot improve on that (ratio stays 1).
+    g = star(0.0, [1.0, 2.0])
+    r = best_general_split(g, 0, grid=4)
+    assert r.honest_utility == pytest.approx(3.0)
+    assert r.ratio == 1.0

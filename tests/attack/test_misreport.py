@@ -1,0 +1,91 @@
+"""Tests for the misreporting strategy and Theorem 10 (truthfulness)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.attack import alpha_curve, report_weight, utility_curve, utility_of_report
+from repro.core import bd_allocation
+from repro.exceptions import AttackError
+from repro.graphs import random_connected_graph, random_ring, ring, star
+from repro.numeric import EXACT, FLOAT
+
+
+def test_report_weight_builds_modified_graph():
+    g = ring([4, 1, 1])
+    g2 = report_weight(g, 0, 2, EXACT)
+    assert g2.weights == (2, 1, 1)
+
+
+def test_report_weight_range_checked():
+    g = ring([4, 1, 1])
+    with pytest.raises(AttackError):
+        report_weight(g, 0, 5, EXACT)
+    with pytest.raises(AttackError):
+        report_weight(g, 0, -1, EXACT)
+
+
+def test_truthful_report_is_identity():
+    g = ring([4, 1, 1])
+    assert utility_of_report(g, 0, 4, EXACT) == bd_allocation(g, backend=EXACT).utilities[0]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_theorem10_monotone_on_rings(seed):
+    """Theorem 10: U_v(x) non-decreasing in the report x (exact backend)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 8))
+    g = random_ring(n, rng, "integer", 1, 9)
+    v = int(rng.integers(0, n))
+    wv = g.weights[v]
+    xs = [Fraction(k * wv, 16) for k in range(17)]
+    curve = utility_curve(g, v, xs, EXACT)
+    assert all(curve[i] <= curve[i + 1] for i in range(len(curve) - 1))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_theorem10_monotone_on_general_graphs(seed):
+    rng = np.random.default_rng(50 + seed)
+    g = random_connected_graph(7, 3, rng, "integer", 1, 9)
+    v = int(rng.integers(0, 7))
+    wv = g.weights[v]
+    xs = [Fraction(k * wv, 12) for k in range(13)]
+    curve = utility_curve(g, v, xs, EXACT)
+    assert all(curve[i] <= curve[i + 1] for i in range(len(curve) - 1))
+
+
+def test_misreporting_never_profits():
+    """Truthfulness: reporting x <= w_v yields at most the truthful utility."""
+    rng = np.random.default_rng(11)
+    for _ in range(5):
+        g = random_ring(int(rng.integers(3, 7)), rng, "integer", 1, 9)
+        v = int(rng.integers(0, g.n))
+        truthful = bd_allocation(g, backend=EXACT).utilities[v]
+        for k in range(0, 9):
+            x = Fraction(k * g.weights[v], 8)
+            assert utility_of_report(g, v, x, EXACT) <= truthful
+
+
+def test_alpha_curve_case_b3_star_center():
+    """Proposition 11 Case B-3 on a star: the center's alpha_v(x) rises to 1
+    at x* = w(leaves) = 3 (C class below, B class above) then falls."""
+    g = star(10, [1, 1, 1])
+    xs = [Fraction(k, 2) for k in range(1, 21)]
+    alphas = alpha_curve(g, 0, xs, EXACT)
+    peak = xs.index(Fraction(3))
+    assert alphas[peak] == 1
+    assert all(alphas[i] <= alphas[i + 1] for i in range(peak))  # rising, C class
+    assert all(alphas[i] >= alphas[i + 1] for i in range(peak, len(alphas) - 1))
+
+
+def test_alpha_curve_case_b1_leaf():
+    # a star leaf is C class for every report and its alpha is non-decreasing
+    g = star(10, [1, 1, 1])
+    leaf_alphas = alpha_curve(g, 1, [Fraction(k, 8) for k in range(1, 9)], EXACT)
+    assert all(leaf_alphas[i] <= leaf_alphas[i + 1] for i in range(len(leaf_alphas) - 1))
+
+
+def test_zero_report_gives_zero_utility():
+    g = ring([4, 1, 1])
+    assert utility_of_report(g, 0, 0, EXACT) == 0

@@ -1,0 +1,99 @@
+"""Tests for m-way Sybil splits."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    best_general_split,
+    best_multi_split,
+    set_partitions,
+    split_general,
+    split_multi,
+)
+from repro.core import bd_allocation
+from repro.exceptions import AttackError
+from repro.graphs import random_connected_graph, star
+from repro.numeric import EXACT, FLOAT
+
+
+def test_set_partitions_counts():
+    # Stirling numbers S(n, m)
+    assert sum(1 for _ in set_partitions([1, 2, 3], 2)) == 3
+    assert sum(1 for _ in set_partitions([1, 2, 3, 4], 2)) == 7
+    assert sum(1 for _ in set_partitions([1, 2, 3, 4], 3)) == 6
+    assert sum(1 for _ in set_partitions([1, 2, 3], 3)) == 1
+    assert list(set_partitions([1, 2], 3)) == []
+
+
+def test_set_partitions_cover_and_disjoint():
+    for groups in set_partitions([1, 2, 3, 4, 5], 3):
+        flat = [x for grp in groups for x in grp]
+        assert sorted(flat) == [1, 2, 3, 4, 5]
+        assert all(grp for grp in groups)
+
+
+def test_split_multi_structure():
+    g = star(10.0, [1.0, 2.0, 3.0])
+    out = split_multi(g, 0, [[1], [2], [3]], [5.0, 3.0, 2.0])
+    g2 = out.graph
+    assert g2.n == 6
+    assert out.copies == (0, 4, 5)
+    assert g2.has_edge(0, 1) and g2.has_edge(4, 2) and g2.has_edge(5, 3)
+    assert g2.weights[0] == 5.0 and g2.weights[4] == 3.0 and g2.weights[5] == 2.0
+    assert g2.labels[4] == "v0^2" and g2.labels[5] == "v0^3"
+
+
+def test_split_multi_m2_matches_split_general():
+    g = star(10.0, [1.0, 2.0, 3.0])
+    a = split_multi(g, 0, [[1, 3], [2]], [6.0, 4.0])
+    b = split_general(g, 0, {2}, 6.0, 4.0)
+    assert float(a.utility) == pytest.approx(float(b.utility), rel=1e-12)
+
+
+def test_split_multi_validations():
+    g = star(10.0, [1.0, 2.0, 3.0])
+    with pytest.raises(AttackError):
+        split_multi(g, 0, [[1], [2]], [5.0])  # weight count
+    with pytest.raises(AttackError):
+        split_multi(g, 0, [[1], [2]], [5.0, 5.0])  # missing neighbor 3
+    with pytest.raises(AttackError):
+        split_multi(g, 0, [[1, 2, 3], []], [5.0, 5.0])  # empty group
+    with pytest.raises(AttackError):
+        split_multi(g, 0, [[1], [2], [3]], [5.0, 5.0, 5.0])  # bad sum
+    with pytest.raises(AttackError):
+        split_multi(g, 0, [[1], [2], [3]], [-1.0, 6.0, 5.0])  # negative
+    with pytest.raises(AttackError):
+        split_multi(g, 0, [[1], [2], [3], [1]], [1, 1, 1, 7])  # m > d_v / dup
+
+
+def test_split_multi_exact_conserves():
+    g = star(Fraction(10), [Fraction(1), Fraction(2), Fraction(3)])
+    out = split_multi(g, 0, [[1], [2], [3]],
+                      [Fraction(5), Fraction(3), Fraction(2)], EXACT)
+    assert sum(out.graph.weights) == sum(g.weights)
+    alloc = bd_allocation(out.graph, backend=EXACT)
+    assert sum(alloc.utilities) == sum(g.weights)
+
+
+def test_best_multi_split_bound():
+    rng = np.random.default_rng(4)
+    g = random_connected_graph(6, 5, rng, "loguniform", 0.1, 10)
+    v = max(g.vertices(), key=g.degree)
+    if g.degree(v) >= 3:
+        r = best_multi_split(g, v, 3, steps=6, refine_rounds=1)
+        assert 1.0 - 1e-9 <= r.ratio <= 2.0 + 1e-6
+        assert r.strategies_tried >= 1
+
+
+def test_best_multi_split_degree_check():
+    g = star(1.0, [1.0, 1.0])
+    with pytest.raises(AttackError):
+        best_multi_split(g, 0, 3)
+
+
+def test_best_multi_split_zero_weight():
+    g = star(0.0, [1.0, 1.0, 1.0])
+    r = best_multi_split(g, 0, 3, steps=4)
+    assert r.ratio == 1.0

@@ -1,0 +1,91 @@
+"""Tests for the Sybil split primitive and Lemma 9 (honest split neutrality)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.attack import attacker_utility, honest_split, split_ring
+from repro.core import bd_allocation
+from repro.exceptions import AttackError
+from repro.graphs import random_ring, ring
+from repro.numeric import EXACT, FLOAT
+
+
+def test_split_outcome_structure():
+    g = ring([2, 1, 1, 1])
+    out = split_ring(g, 0, 1, 1, EXACT)
+    assert out.path.is_path_graph()
+    assert out.path.n == 5
+    assert out.path.weights[out.v1] == 1
+    assert out.path.weights[out.v2] == 1
+    assert out.attacker_utility == out.utility_v1 + out.utility_v2
+
+
+def test_split_rejects_negative_weights():
+    g = ring([2, 1, 1])
+    with pytest.raises(AttackError):
+        split_ring(g, 0, -1, 3, EXACT)
+
+
+def test_split_rejects_bad_sum():
+    g = ring([2, 1, 1])
+    with pytest.raises(AttackError):
+        split_ring(g, 0, 1, 2, EXACT)
+
+
+def test_split_float_tolerates_roundoff_sum():
+    g = ring([1.0, 1.0, 1.0])
+    out = split_ring(g, 0, 0.1 + 0.2, 1.0 - (0.1 + 0.2), FLOAT)
+    assert out.path.n == 4
+
+
+def test_attacker_utility_shortcut():
+    g = ring([2, 1, 1, 1])
+    assert attacker_utility(g, 0, 1, 1, EXACT) == split_ring(g, 0, 1, 1, EXACT).attacker_utility
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_lemma9_honest_split_preserves_utility(seed):
+    """Lemma 9: splitting at the equilibrium flow amounts changes nothing."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 9))
+    g = random_ring(n, rng, "integer", 1, 9)
+    for v in range(n):
+        w1, w2 = honest_split(g, v, EXACT)
+        out = split_ring(g, v, w1, w2, EXACT)
+        truthful = bd_allocation(g, backend=EXACT).utilities[v]
+        assert out.attacker_utility == truthful
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lemma9_honest_split_preserves_all_utilities(seed):
+    """The honest split also leaves every *other* agent's utility unchanged."""
+    rng = np.random.default_rng(100 + seed)
+    n = int(rng.integers(3, 8))
+    g = random_ring(n, rng, "integer", 1, 9)
+    truthful = bd_allocation(g, backend=EXACT).utilities
+    v = int(rng.integers(0, n))
+    w1, w2 = honest_split(g, v, EXACT)
+    out = split_ring(g, v, w1, w2, EXACT)
+    # map path interior vertices back to ring ids via labels
+    for pid in range(out.path.n):
+        if pid in (out.v1, out.v2):
+            continue
+        ring_id = int(out.path.labels[pid][1:])  # "v3" -> 3
+        assert out.allocation.utilities[pid] == truthful[ring_id]
+
+
+def test_honest_split_sums_to_weight():
+    g = ring([Fraction(5), Fraction(2), Fraction(3), Fraction(7)])
+    for v in range(4):
+        w1, w2 = honest_split(g, v, EXACT)
+        assert w1 + w2 == g.weights[v]
+        assert w1 >= 0 and w2 >= 0
+
+
+def test_alpha_accessors():
+    g = ring([2, 1, 1, 1])
+    out = split_ring(g, 0, 1, 1, EXACT)
+    a1, a2 = out.alpha_v1(), out.alpha_v2()
+    assert a1 > 0 and a2 > 0

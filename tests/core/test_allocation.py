@@ -1,0 +1,143 @@
+"""Tests for the BD Allocation Mechanism (Definition 5)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Allocation,
+    bd_allocation,
+    bottleneck_decomposition,
+    closed_form_utilities,
+)
+from repro.exceptions import AllocationError
+from repro.graphs import (
+    WeightedGraph,
+    path,
+    random_connected_graph,
+    random_ring,
+    ring,
+    star,
+)
+from repro.numeric import EXACT, FLOAT
+
+
+def test_star_allocation_exact():
+    g = star(10, [1, 1, 1])
+    alloc = bd_allocation(g, backend=EXACT)
+    # center (B class) sends everything: 10 split so each leaf receives w/alpha = 10/3
+    assert alloc.sent(0) == 10
+    for leaf in (1, 2, 3):
+        assert alloc.received(leaf) == Fraction(10, 3)
+        # each leaf returns its full weight to the center
+        assert alloc.x[(leaf, 0)] == 1
+    assert alloc.utilities[0] == 3  # w * alpha = 10 * 3/10
+
+
+def test_two_vertex_path():
+    g = path([1, 4])
+    alloc = bd_allocation(g, backend=EXACT)
+    assert alloc.x[(1, 0)] == 4
+    assert alloc.x[(0, 1)] == 1
+    assert alloc.utilities == (4, 1)
+
+
+def test_uniform_ring_unit_pair_allocation():
+    g = ring([1, 1, 1, 1, 1])
+    alloc = bd_allocation(g, backend=EXACT)
+    # everyone spends exactly its endowment and earns exactly w_v
+    for v in g.vertices():
+        assert alloc.sent(v) == 1
+        assert alloc.utilities[v] == 1
+    alloc.check_feasible()
+
+
+def test_allocation_zero_on_cross_pair_edges():
+    g = WeightedGraph(
+        6,
+        [(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        [Fraction(3, 2), Fraction(3, 2), 1, 1, 1, 1],
+    )
+    alloc = bd_allocation(g, backend=EXACT)
+    # edge (2,3) joins C_1 to B_2: carries nothing in either direction
+    assert alloc.x.get((2, 3), 0) == 0
+    assert alloc.x.get((3, 2), 0) == 0
+
+
+def test_utilities_match_closed_form_exact():
+    rng = np.random.default_rng(7)
+    for _ in range(8):
+        g = random_ring(int(rng.integers(3, 10)), rng, "integer", 1, 12)
+        d = bottleneck_decomposition(g, EXACT)
+        alloc = bd_allocation(g, d, backend=EXACT)
+        for v, cf in enumerate(closed_form_utilities(d)):
+            assert cf is not None
+            assert alloc.utilities[v] == cf
+
+
+def test_utilities_match_closed_form_float():
+    rng = np.random.default_rng(8)
+    for _ in range(6):
+        g = random_connected_graph(8, 4, rng, "uniform", 0.5, 5.0)
+        d = bottleneck_decomposition(g, FLOAT)
+        alloc = bd_allocation(g, d, backend=FLOAT)
+        for v, cf in enumerate(closed_form_utilities(d)):
+            assert float(alloc.utilities[v]) == pytest.approx(float(cf), rel=1e-7)
+
+
+def test_everyone_spends_endowment_exact():
+    rng = np.random.default_rng(9)
+    for _ in range(8):
+        g = random_connected_graph(7, 3, rng, "integer", 1, 9)
+        alloc = bd_allocation(g, backend=EXACT)
+        for v in g.vertices():
+            assert alloc.sent(v) == g.weights[v]
+        alloc.check_feasible()
+
+
+def test_zero_weight_split_endpoint():
+    # Case C-2 shape: a zero-weight leaf participates without breaking the flow
+    g = path([0, 1, 4])
+    alloc = bd_allocation(g, backend=EXACT)
+    assert alloc.utilities[0] == 0
+    assert alloc.sent(0) == 0
+    assert alloc.utilities[2] == 1  # B class: w * alpha = 4 * 1/4
+    alloc.check_feasible()
+
+
+def test_allocation_support_is_edge_set():
+    rng = np.random.default_rng(10)
+    g = random_connected_graph(8, 5, rng, "integer", 1, 9)
+    alloc = bd_allocation(g, backend=EXACT)
+    for (u, v) in alloc.x:
+        assert g.has_edge(u, v)
+
+
+def test_check_feasible_detects_non_edge():
+    g = path([1, 1, 1])
+    alloc = bd_allocation(g, backend=EXACT)
+    bad = Allocation(graph=g, x={(0, 2): 1}, utilities=(0, 0, 1))
+    with pytest.raises(AllocationError):
+        bad.check_feasible()
+
+
+def test_check_feasible_detects_overspend():
+    g = path([1, 1])
+    bad = Allocation(graph=g, x={(0, 1): 5}, utilities=(0, 5))
+    with pytest.raises(AllocationError):
+        bad.check_feasible()
+
+
+def test_check_feasible_detects_negative():
+    g = path([1, 1])
+    bad = Allocation(graph=g, x={(0, 1): -1}, utilities=(0, -1))
+    with pytest.raises(AllocationError):
+        bad.check_feasible()
+
+
+def test_reuses_provided_decomposition():
+    g = star(10, [1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    alloc = bd_allocation(g, d, backend=EXACT)
+    assert alloc.utilities[0] == 3

@@ -1,0 +1,60 @@
+"""Tests for alpha-ratio computations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import alpha_ratio, alpha_within, pair_alpha
+from repro.graphs import path, ring, star
+from repro.numeric import EXACT, FLOAT
+
+
+def test_alpha_single_vertex_on_path():
+    g = path([2, 4, 6])
+    # Gamma({1}) = {0, 2}, alpha = (2+6)/4 = 2
+    assert alpha_ratio(g, [1], EXACT) == Fraction(2)
+
+
+def test_alpha_includes_internal_neighbors():
+    g = ring([1, 1, 1])
+    # Gamma({0,1}) = {0,1,2} on a triangle
+    assert alpha_ratio(g, [0, 1], EXACT) == Fraction(3, 2)
+
+
+def test_alpha_whole_graph_at_most_one():
+    for g in (ring([1, 2, 3, 4]), path([1, 2, 3]), star(2, [1, 1, 1])):
+        a = alpha_ratio(g, list(g.vertices()), EXACT)
+        assert a <= 1
+
+
+def test_alpha_empty_or_zero_weight_is_none():
+    g = path([0, 1])
+    assert alpha_ratio(g, [], EXACT) is None
+    assert alpha_ratio(g, [0], EXACT) is None  # w(S) = 0
+
+
+def test_alpha_float_matches_exact():
+    g = ring([1.5, 2.5, 3.0, 0.5])
+    a_f = alpha_ratio(g, [0, 2], FLOAT)
+    a_e = alpha_ratio(g.with_weights([Fraction(3, 2), Fraction(5, 2), 3, Fraction(1, 2)]), [0, 2], EXACT)
+    assert a_f == pytest.approx(float(a_e))
+
+
+def test_alpha_within_restricts_neighborhood():
+    g = path([1, 1, 1, 1])
+    # within active {1,2,3}: Gamma({1}) ∩ active = {2}
+    assert alpha_within(g, [1], [1, 2, 3], EXACT) == Fraction(1)
+    # full graph: Gamma({1}) = {0, 2} -> alpha = 2
+    assert alpha_ratio(g, [1], EXACT) == Fraction(2)
+
+
+def test_alpha_within_requires_containment():
+    g = path([1, 1, 1])
+    assert alpha_within(g, [0], [1, 2], EXACT) is None
+
+
+def test_pair_alpha():
+    g = path([1, 2, 3])
+    assert pair_alpha(g, [1], [0, 2], EXACT) == Fraction(4, 2)
+    assert pair_alpha(g, [0], [], EXACT) == 0
+    assert pair_alpha(g, [], [0], EXACT) is None

@@ -1,0 +1,60 @@
+"""Tests for the asynchronous (gossip) proportional response variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import async_proportional_response, bd_allocation
+from repro.exceptions import ConvergenceError
+from repro.graphs import WeightedGraph, random_ring, ring, star
+from repro.numeric import FLOAT
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_async_converges_to_bd_allocation(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 8))
+    g = random_ring(n, rng, "uniform", 0.5, 5.0)
+    res = async_proportional_response(g, np.random.default_rng(7), max_sweeps=20_000, tol=1e-11)
+    assert res.converged
+    alloc = bd_allocation(g, backend=FLOAT)
+    for v in g.vertices():
+        assert res.utility_of(v) == pytest.approx(float(alloc.utilities[v]), rel=1e-4, abs=1e-7)
+
+
+def test_async_handles_even_rings_without_damping():
+    """The bipartite 2-cycle of the synchronous raw update does not occur
+    under the Gauss-Seidel schedule."""
+    g = ring([1.0, 5.0, 2.0, 4.0, 3.0, 6.0])
+    res = async_proportional_response(g, np.random.default_rng(0), tol=1e-11)
+    assert res.converged
+
+
+def test_async_star():
+    g = star(10.0, [1.0, 1.0, 1.0])
+    res = async_proportional_response(g, np.random.default_rng(1), tol=1e-12)
+    assert res.converged
+    assert res.utility_of(0) == pytest.approx(3.0)
+
+
+def test_async_trace_recorded():
+    g = ring([1.0, 2.0, 3.0, 4.0, 5.0])
+    res = async_proportional_response(
+        g, np.random.default_rng(2), max_sweeps=200, tol=0, record_every=10
+    )
+    assert len(res.trace) >= 1
+    sweeps = [s for s, _ in res.trace]
+    assert sweeps == sorted(sweeps)
+
+
+def test_async_raise_on_failure():
+    g = ring([1.0, 5.0, 2.0, 4.0, 3.0])
+    with pytest.raises(ConvergenceError):
+        async_proportional_response(
+            g, np.random.default_rng(3), max_sweeps=1, tol=0, raise_on_failure=True
+        )
+
+
+def test_async_rejects_edgeless():
+    g = WeightedGraph(2, [], [1, 1])
+    with pytest.raises(ConvergenceError):
+        async_proportional_response(g, np.random.default_rng(0))

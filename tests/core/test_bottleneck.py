@@ -1,0 +1,266 @@
+"""Tests for the parametric bottleneck decomposition.
+
+The authoritative cross-check: the Dinkelbach/min-cut fast path must agree
+with the exponential brute-force oracle on randomized small instances, with
+exact Fraction arithmetic.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    alpha_within,
+    bottleneck_decomposition,
+    brute_force_decomposition,
+    brute_force_maximal_bottleneck,
+    brute_force_min_alpha,
+    maximal_bottleneck,
+)
+from repro.exceptions import DecompositionError, GraphError
+from repro.graphs import (
+    WeightedGraph,
+    complete,
+    path,
+    random_connected_graph,
+    random_ring,
+    ring,
+    star,
+)
+from repro.numeric import EXACT, FLOAT
+
+
+# ---------------------------------------------------------------------------
+# hand-computed instances
+# ---------------------------------------------------------------------------
+
+def test_star_decomposition():
+    # star: center weight 10, leaves 1,1,1 -> B1 = leaves, C1 = {center},
+    # alpha1 = 10/3?? no: alpha(S) minimized by leaves: Gamma = {center},
+    # alpha = 10/3 > 1 -> actually min is the whole graph? Let's compute:
+    # alpha({center}) = 3/10, that's the minimum -> B1 = {0}, C1 = leaves.
+    g = star(10, [1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    assert d.pairs[0].B == frozenset({0})
+    assert d.pairs[0].C == frozenset({1, 2, 3})
+    assert d.pairs[0].alpha == Fraction(3, 10)
+
+
+def test_star_rich_center():
+    # center weight 1, leaves heavy: leaves form the bottleneck
+    g = star(1, [5, 5])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    assert d.pairs[0].B == frozenset({1, 2})
+    assert d.pairs[0].C == frozenset({0})
+    assert d.pairs[0].alpha == Fraction(1, 10)
+
+
+def test_uniform_ring_is_single_unit_pair():
+    g = ring([1, 1, 1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    p = d.pairs[0]
+    assert p.alpha == 1
+    assert p.B == p.C == frozenset(range(5))
+
+
+def test_path_two_vertices():
+    g = path([1, 4])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    assert d.pairs[0].B == frozenset({1})
+    assert d.pairs[0].C == frozenset({0})
+    assert d.pairs[0].alpha == Fraction(1, 4)
+
+
+def test_two_pair_path():
+    # path 1 - 10 - 10 - 1: B1 = {0,3}? Gamma({0}) = {1}: alpha = 10.
+    # alpha({1}) = 11/10, alpha({1,2}) = (1+10+10+1)/20 = 22/20.
+    # alpha({0,3}) = 20/2 = 10. alpha(V) = 22/22 = 1.
+    # minimum: try S = {0}: 10; the whole graph: 1 -> single unit pair.
+    g = path([1, 10, 10, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    assert d.pairs[0].alpha == 1
+
+
+def test_fig1_style_two_pairs():
+    # B1 = {0,1} (heavy), C1 = {2} (light), then a triangle of equals.
+    # 0-2, 1-2, 2-3, 3-4, 4-5, 5-3
+    g = WeightedGraph(
+        6,
+        [(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        [Fraction(3, 2), Fraction(3, 2), 1, 1, 1, 1],
+    )
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 2
+    assert d.pairs[0].B == frozenset({0, 1})
+    assert d.pairs[0].C == frozenset({2})
+    assert d.pairs[0].alpha == Fraction(1, 3)
+    assert d.pairs[1].B == d.pairs[1].C == frozenset({3, 4, 5})
+    assert d.pairs[1].alpha == 1
+
+
+def test_lookup_api():
+    g = star(10, [1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.in_B(0) and not d.in_C(0)
+    assert d.in_C(1) and not d.in_B(1)
+    assert d.alpha_of(0) == Fraction(3, 10)
+    assert d.pair_of(2).index == 1
+    assert d.alphas() == [Fraction(3, 10)]
+
+
+def test_unit_pair_members_are_both_classes():
+    g = ring([1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    assert all(d.in_B(v) and d.in_C(v) for v in g.vertices())
+
+
+def test_rejects_isolated_vertex():
+    g = WeightedGraph(3, [(0, 1)], [1, 1, 1])
+    with pytest.raises(GraphError):
+        bottleneck_decomposition(g, EXACT)
+
+
+def test_rejects_zero_total_weight():
+    g = path([0, 0])
+    with pytest.raises(DecompositionError):
+        bottleneck_decomposition(g, EXACT)
+
+
+def test_zero_weight_leaf_absorbed_with_its_neighbor():
+    # path: z(0) - a(1) - b(4): alpha({a}) = 4/1 ... alpha({b}) = 1/4 min.
+    # B1 = {b}, C1 = {a}; z has weight 0 and its only neighbor a is in C1,
+    # so the maximal bottleneck absorbs z into B1 (Case C-2 behaviour).
+    g = path([0, 1, 4])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    assert d.pairs[0].B == frozenset({0, 2})
+    assert d.pairs[0].C == frozenset({1})
+    assert d.pairs[0].alpha == Fraction(1, 4)
+
+
+# ---------------------------------------------------------------------------
+# invariants of Proposition 3 on random instances (exact backend)
+# ---------------------------------------------------------------------------
+
+def _random_positive_graph(seed: int) -> WeightedGraph:
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 10))
+    g = random_connected_graph(n, int(rng.integers(0, n)), rng, "integer", 1, 9)
+    return g
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_proposition3_invariants(seed):
+    g = _random_positive_graph(seed)
+    d = bottleneck_decomposition(g, EXACT)
+    alphas = d.alphas()
+    # (1) strictly increasing, in (0, 1]
+    assert all(a > 0 for a in alphas)
+    assert all(alphas[i] < alphas[i + 1] for i in range(len(alphas) - 1))
+    assert alphas[-1] <= 1
+    for i, p in enumerate(d.pairs):
+        if p.alpha == 1:
+            # (2) alpha = 1 only in the last pair, with B = C
+            assert i == len(d.pairs) - 1
+            assert p.B == p.C
+        else:
+            assert g.is_independent(p.B)
+            assert not (p.B & p.C)
+    # (3) no edge between B_i and B_j
+    for i, p in enumerate(d.pairs):
+        for q in d.pairs:
+            if p.index >= q.index or p.is_unit or q.is_unit:
+                continue
+            for u in p.B:
+                assert not (set(g.neighbors(u)) & q.B)
+    # (4) an edge between B_i and C_j implies j <= i
+    for p in d.pairs:
+        for u in p.B:
+            for v in g.neighbors(u):
+                q = d.pair_of(v)
+                if v in q.C:
+                    assert q.index <= p.index
+    # coverage: every vertex in exactly one pair (constructor enforces; smoke)
+    assert sum(len(p.members()) for p in d.pairs) >= g.n
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_parametric_matches_bruteforce_decomposition(seed):
+    g = _random_positive_graph(seed)
+    fast = bottleneck_decomposition(g, EXACT)
+    slow = brute_force_decomposition(g, EXACT)
+    assert fast.k == slow.k
+    for pf, ps in zip(fast.pairs, slow.pairs):
+        assert pf.B == ps.B
+        assert pf.C == ps.C
+        assert pf.alpha == ps.alpha
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_parametric_matches_bruteforce_with_zero_weights(seed):
+    rng = np.random.default_rng(1000 + seed)
+    n = int(rng.integers(3, 8))
+    g = random_connected_graph(n, int(rng.integers(0, n)), rng, "integer", 1, 9)
+    # zero out a random vertex (mimicking an extreme Sybil split endpoint)
+    z = int(rng.integers(0, n))
+    ws = list(g.weights)
+    ws[z] = 0
+    if sum(ws) == 0:
+        return
+    g = g.with_weights(ws)
+    fast = bottleneck_decomposition(g, EXACT)
+    slow = brute_force_decomposition(g, EXACT)
+    assert [p.alpha for p in fast.pairs] == [p.alpha for p in slow.pairs]
+    assert [p.B for p in fast.pairs] == [p.B for p in slow.pairs]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_float_backend_matches_exact(seed):
+    rng = np.random.default_rng(2000 + seed)
+    g = random_ring(int(rng.integers(3, 12)), rng, "integer", 1, 20)
+    exact = bottleneck_decomposition(g, EXACT)
+    flt = bottleneck_decomposition(g, FLOAT)
+    assert flt.k == exact.k
+    for pe, pf in zip(exact.pairs, flt.pairs):
+        assert pf.B == pe.B
+        assert pf.C == pe.C
+        assert float(pf.alpha) == pytest.approx(float(pe.alpha))
+
+
+def test_maximal_bottleneck_direct_call():
+    g = star(10, [1, 1, 1])
+    B, a = maximal_bottleneck(g, backend=EXACT)
+    assert B == frozenset({0})
+    assert a == Fraction(3, 10)
+    Bf, af = brute_force_maximal_bottleneck(g)
+    assert Bf == B and af == a
+
+
+def test_maximal_bottleneck_empty_active_rejected():
+    g = path([1, 1])
+    with pytest.raises(DecompositionError):
+        maximal_bottleneck(g, active=[], backend=EXACT)
+
+
+def test_brute_force_min_alpha():
+    g = star(10, [1, 1, 1])
+    assert brute_force_min_alpha(g) == Fraction(3, 10)
+
+
+def test_brute_force_guards_size():
+    g = complete([1] * 19)
+    with pytest.raises(DecompositionError):
+        brute_force_min_alpha(g)
+
+
+def test_complete_graph_unit_pair():
+    g = complete([3, 1, 2, 5])
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.k == 1
+    assert d.pairs[0].alpha == 1

@@ -1,0 +1,94 @@
+"""Tests for B/C class labelling and the ring alternation refinement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    VertexClass,
+    bottleneck_decomposition,
+    classify,
+    refine_unit_pair,
+)
+from repro.exceptions import DecompositionError
+from repro.graphs import WeightedGraph, path, ring, star
+from repro.numeric import EXACT
+
+
+def test_classify_simple_pair():
+    g = star(10, [1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    labels = classify(d)
+    assert labels[0] is VertexClass.B
+    assert all(labels[v] is VertexClass.C for v in (1, 2, 3))
+    assert labels[0].is_b and not labels[0].is_c
+    assert labels[1].is_c and not labels[1].is_b
+
+
+def test_classify_unit_pair_is_both():
+    g = ring([1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    labels = classify(d)
+    assert all(labels[v] is VertexClass.BOTH for v in g.vertices())
+    assert labels[0].is_b and labels[0].is_c
+
+
+def test_refine_even_ring_alternates():
+    g = ring([1, 1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    labels = refine_unit_pair(d, prefer_c=0)
+    assert labels[0] is VertexClass.C
+    assert labels[1] is VertexClass.B
+    assert labels[2] is VertexClass.C
+    assert labels[3] is VertexClass.B
+
+
+def test_refine_odd_ring_keeps_both():
+    g = ring([1, 1, 1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    labels = refine_unit_pair(d, prefer_c=2)
+    assert all(labels[v] is VertexClass.BOTH for v in g.vertices())
+
+
+def test_refine_path_unit_pair():
+    # path 1-10-10-1 is a single unit pair (see bottleneck tests); the
+    # alternation seeds v=0 as C and propagates
+    g = path([1, 10, 10, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    labels = refine_unit_pair(d, prefer_c=0)
+    assert [labels[v] for v in range(4)] == [
+        VertexClass.C,
+        VertexClass.B,
+        VertexClass.C,
+        VertexClass.B,
+    ]
+
+
+def test_refine_no_op_when_vertex_not_in_unit_pair():
+    g = star(10, [1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    labels = refine_unit_pair(d, prefer_c=0)
+    assert labels[0] is VertexClass.B  # unchanged: not a unit pair
+
+
+def test_refine_unknown_vertex_raises():
+    g = star(10, [1, 1, 1])
+    d = bottleneck_decomposition(g, EXACT)
+    with pytest.raises(DecompositionError):
+        refine_unit_pair(d, prefer_c=99)
+
+
+def test_mixed_decomposition_classes():
+    g = WeightedGraph(
+        6,
+        [(0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        [Fraction(3, 2), Fraction(3, 2), 1, 1, 1, 1],
+    )
+    d = bottleneck_decomposition(g, EXACT)
+    labels = classify(d)
+    assert labels[0] is VertexClass.B and labels[1] is VertexClass.B
+    assert labels[2] is VertexClass.C
+    assert all(labels[v] is VertexClass.BOTH for v in (3, 4, 5))
+    # refinement on the triangle component: odd cycle -> stays BOTH
+    refined = refine_unit_pair(d, prefer_c=3)
+    assert all(refined[v] is VertexClass.BOTH for v in (3, 4, 5))

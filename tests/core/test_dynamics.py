@@ -1,0 +1,107 @@
+"""Tests for the proportional response dynamics simulator (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bd_allocation,
+    bottleneck_decomposition,
+    dynamics_utilities,
+    proportional_response,
+)
+from repro.exceptions import ConvergenceError
+from repro.graphs import WeightedGraph, path, random_ring, ring, star
+from repro.numeric import FLOAT
+
+
+def test_converges_on_odd_ring_to_bd_utilities():
+    g = ring([1.0, 2.0, 3.0, 4.0, 5.0])
+    res = proportional_response(g, tol=1e-12)
+    assert res.converged
+    alloc = bd_allocation(g, backend=FLOAT)
+    for v in g.vertices():
+        assert res.utility_of(v) == pytest.approx(float(alloc.utilities[v]), rel=1e-6)
+
+
+def test_even_ring_may_oscillate_but_damped_converges():
+    g = ring([1.0, 5.0, 2.0, 4.0])
+    raw = proportional_response(g, max_iters=5000, tol=1e-12)
+    damped = proportional_response(g, max_iters=20000, tol=1e-12, damping=0.5)
+    assert damped.converged
+    alloc = bd_allocation(g, backend=FLOAT)
+    for v in g.vertices():
+        assert damped.utility_of(v) == pytest.approx(float(alloc.utilities[v]), rel=1e-6)
+    # raw run either converges or is flagged as a clean 2-cycle whose
+    # orbit-average still reproduces the BD utilities
+    assert raw.converged or raw.oscillating
+    for v in g.vertices():
+        assert raw.utility_of(v) == pytest.approx(float(alloc.utilities[v]), rel=1e-4)
+
+
+def test_star_dynamics():
+    g = star(10.0, [1.0, 1.0, 1.0])
+    res = proportional_response(g, damping=0.5, tol=1e-12)
+    assert res.converged
+    assert res.utility_of(0) == pytest.approx(3.0)
+    for leaf in (1, 2, 3):
+        assert res.utility_of(leaf) == pytest.approx(10 / 3)
+
+
+def test_initial_allocation_is_w_over_degree():
+    g = path([2.0, 3.0])
+    res = proportional_response(g, max_iters=1, tol=0)
+    # after one step on a 2-path the allocation is already the fixed point
+    assert res.allocation_of(0, 1) == pytest.approx(2.0)
+    assert res.allocation_of(1, 0) == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_rings_agree_with_bd_allocation(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 12))
+    g = random_ring(n, rng, "uniform", 0.5, 5.0)
+    res = proportional_response(g, max_iters=60000, tol=1e-13, damping=0.3)
+    alloc = bd_allocation(g, backend=FLOAT)
+    assert res.converged
+    for v in g.vertices():
+        assert res.utility_of(v) == pytest.approx(float(alloc.utilities[v]), rel=1e-5, abs=1e-8)
+
+
+def test_zero_weight_vertex_handled():
+    g = path([0.0, 1.0, 4.0])
+    res = proportional_response(g, damping=0.5, tol=1e-12)
+    assert res.utility_of(0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_raise_on_failure():
+    g = ring([1.0, 5.0, 2.0, 4.0, 3.0])
+    with pytest.raises(ConvergenceError):
+        proportional_response(g, max_iters=2, tol=0, raise_on_failure=True)
+
+
+def test_rejects_edgeless_graph():
+    g = WeightedGraph(2, [], [1, 1])
+    with pytest.raises(ConvergenceError):
+        proportional_response(g)
+
+
+def test_rejects_bad_damping():
+    g = path([1.0, 1.0])
+    with pytest.raises(ValueError):
+        proportional_response(g, damping=1.5)
+
+
+def test_dynamics_utilities_wrapper():
+    g = path([1.0, 4.0])
+    u = dynamics_utilities(g, tol=1e-12)
+    assert u[0] == pytest.approx(4.0)
+    assert u[1] == pytest.approx(1.0)
+
+
+def test_result_metadata():
+    g = ring([1.0, 1.0, 1.0])
+    res = proportional_response(g, tol=1e-12)
+    assert res.iterations >= 1
+    assert res.residual <= 1e-12
+    assert set(res.edge_index) == {(u, v) for u, v in
+                                   [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]}

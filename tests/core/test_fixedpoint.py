@@ -1,0 +1,62 @@
+"""Tests for proportional-response fixed-point verification."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Allocation,
+    assert_fixed_point,
+    bd_allocation,
+    fixed_point_residual,
+)
+from repro.exceptions import AllocationError
+from repro.graphs import path, random_connected_graph, random_ring, ring
+from repro.numeric import EXACT, FLOAT
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_bd_allocation_is_fixed_point_on_rings(seed):
+    rng = np.random.default_rng(seed)
+    g = random_ring(int(rng.integers(3, 10)), rng, "integer", 1, 9)
+    alloc = bd_allocation(g, backend=EXACT)
+    report = fixed_point_residual(alloc)
+    assert report.is_fixed_point, report
+    assert_fixed_point(alloc)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_bd_allocation_is_fixed_point_on_general_graphs(seed):
+    rng = np.random.default_rng(100 + seed)
+    g = random_connected_graph(7, 4, rng, "integer", 1, 9)
+    alloc = bd_allocation(g, backend=EXACT)
+    assert fixed_point_residual(alloc).is_fixed_point
+
+
+def test_uniform_triangle_regression():
+    """The directed-circulation counterexample must stay fixed forever."""
+    g = ring([1, 1, 1])
+    alloc = bd_allocation(g, backend=EXACT)
+    assert fixed_point_residual(alloc).is_fixed_point
+    # the symmetric allocation sends 1/2 each way
+    assert alloc.x[(0, 1)] == Fraction(1, 2)
+    assert alloc.x[(1, 0)] == Fraction(1, 2)
+
+
+def test_non_fixed_point_detected():
+    g = path([1, 1])
+    # everything one way, nothing back: not an echo
+    bad = Allocation(graph=g, x={(0, 1): 1, (1, 0): 0}, utilities=(0, 1))
+    with pytest.raises(AllocationError):
+        assert_fixed_point(bad)
+    report = fixed_point_residual(bad)
+    assert not report.is_fixed_point
+    assert report.worst_edge is not None
+
+
+def test_zero_utility_edges_skipped():
+    g = path([0, 0, 1])
+    bad = Allocation(graph=g, x={}, utilities=(0, 0, 0))
+    report = fixed_point_residual(bad)
+    assert report.skipped_zero_utility > 0

@@ -1,0 +1,109 @@
+"""Tests for graph builders and random generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    complete,
+    from_edge_list,
+    grid2d,
+    path,
+    random_connected_graph,
+    random_ring,
+    random_weights,
+    ring,
+    star,
+)
+
+
+def test_ring_shape():
+    g = ring([1, 2, 3, 4])
+    assert g.is_ring()
+    assert g.m == 4
+    assert g.has_edge(0, 3)
+
+
+def test_ring_minimum_size():
+    with pytest.raises(GraphError):
+        ring([1, 1])
+
+
+def test_path_shape():
+    g = path([1, 2, 3])
+    assert g.is_path_graph()
+    assert g.m == 2
+
+
+def test_path_minimum_size():
+    with pytest.raises(GraphError):
+        path([1])
+
+
+def test_star_shape():
+    g = star(5, [1, 2, 3])
+    assert g.n == 4
+    assert g.degree(0) == 3
+    assert all(g.degree(v) == 1 for v in [1, 2, 3])
+    assert g.weights == (5, 1, 2, 3)
+
+
+def test_star_needs_leaf():
+    with pytest.raises(GraphError):
+        star(1, [])
+
+
+def test_complete_edge_count():
+    g = complete([1] * 5)
+    assert g.m == 10
+    assert all(g.degree(v) == 4 for v in g.vertices())
+
+
+def test_grid2d_shape():
+    g = grid2d(2, 3, [1] * 6)
+    assert g.m == 7  # 2*2 vertical + 3*1? rows*(cols-1) + cols*(rows-1) = 2*2+3*1 = 7
+    assert g.has_edge(0, 1) and g.has_edge(0, 3)
+
+
+def test_grid2d_weight_count_checked():
+    with pytest.raises(GraphError):
+        grid2d(2, 2, [1, 1, 1])
+
+
+def test_random_weights_distributions():
+    rng = np.random.default_rng(0)
+    for dist in ("uniform", "loguniform", "integer", "equal"):
+        ws = random_weights(8, rng, dist, low=0.5, high=4.0)
+        assert len(ws) == 8
+        assert all(w > 0 for w in ws)
+    assert random_weights(3, rng, "equal", high=2.0) == [2.0, 2.0, 2.0]
+
+
+def test_random_weights_unknown_distribution():
+    rng = np.random.default_rng(0)
+    with pytest.raises(GraphError):
+        random_weights(3, rng, "cauchy")
+
+
+def test_random_ring_deterministic_under_seed():
+    a = random_ring(6, np.random.default_rng(42))
+    b = random_ring(6, np.random.default_rng(42))
+    assert a == b
+    assert a.is_ring()
+
+
+def test_random_connected_graph_is_connected():
+    for seed in range(5):
+        g = random_connected_graph(12, 6, np.random.default_rng(seed))
+        assert g.is_connected()
+        assert g.m >= 11
+
+
+def test_random_connected_graph_extra_edges_capped():
+    g = random_connected_graph(4, 100, np.random.default_rng(1))
+    assert g.m == 6  # K4
+
+
+def test_from_edge_list():
+    g = from_edge_list([(0, 1), (1, 2)], [1, 2, 3])
+    assert g.n == 3 and g.m == 2

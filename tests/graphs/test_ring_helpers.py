@@ -1,0 +1,86 @@
+"""Tests for ring/path ordering and the Sybil split primitive."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    cut_ring_at,
+    path,
+    path_endpoints,
+    path_order,
+    ring,
+    ring_neighbors,
+    ring_order,
+)
+
+
+def test_ring_order_starts_at_start_and_covers_all():
+    g = ring([1] * 5)
+    order = ring_order(g, start=2)
+    assert order[0] == 2
+    assert sorted(order) == [0, 1, 2, 3, 4]
+    # consecutive entries are adjacent, and it closes the cycle
+    for a, b in zip(order, order[1:] + [order[0]]):
+        assert g.has_edge(a, b)
+
+
+def test_ring_order_deterministic_direction():
+    g = ring([1] * 4)
+    assert ring_order(g, 0)[1] == min(g.neighbors(0))
+
+
+def test_ring_order_requires_ring():
+    with pytest.raises(GraphError):
+        ring_order(path([1, 1, 1]))
+
+
+def test_ring_neighbors():
+    g = ring([1] * 4)
+    assert ring_neighbors(g, 0) == (1, 3)
+
+
+def test_path_order_endpoint_to_endpoint():
+    g = path([1, 2, 3, 4])
+    assert path_order(g) == [0, 1, 2, 3]
+    assert path_endpoints(g) == (0, 3)
+
+
+def test_path_order_requires_path():
+    with pytest.raises(GraphError):
+        path_order(ring([1, 1, 1]))
+
+
+def test_cut_ring_at_structure():
+    g = ring([10, 1, 2, 3])  # v=0, neighbors 1 and 3
+    p, v1, v2 = cut_ring_at(g, 0, 4, 6)
+    assert p.is_path_graph()
+    assert p.n == 5
+    assert (v1, v2) == (0, 4)
+    # path order: v1 - u_a(=1) - 2 - u_b(=3) - v2
+    assert p.weights == (4, 1, 2, 3, 6)
+    assert p.labels == ("v0^1", "v1", "v2", "v3", "v0^2")
+
+
+def test_cut_ring_preserves_interior_order_for_nonzero_vertex():
+    g = ring([5, 6, 7, 8, 9])  # cut at v=2; neighbors 1 and 3
+    p, v1, v2 = cut_ring_at(g, 2, 3, 4)
+    # interior runs from u_a=1 around the ring away from v: 1, 0, 4, 3
+    assert p.weights == (3, 6, 5, 9, 8, 4)
+    assert p.labels[0] == "v2^1" and p.labels[-1] == "v2^2"
+
+
+def test_cut_ring_total_weight_conserved_when_split_sums():
+    g = ring([10, 1, 2, 3])
+    p, _, _ = cut_ring_at(g, 0, 7, 3)
+    assert sum(p.weights) == sum(g.weights)
+
+
+def test_cut_ring_requires_ring():
+    with pytest.raises(GraphError):
+        cut_ring_at(path([1, 1, 1]), 0, 1, 1)
+
+
+def test_cut_ring_allows_zero_endpoint_weights():
+    g = ring([2, 1, 1])
+    p, v1, v2 = cut_ring_at(g, 0, 0, 2)
+    assert p.weights[v1] == 0 and p.weights[v2] == 2

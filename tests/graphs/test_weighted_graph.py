@@ -1,0 +1,160 @@
+"""Unit tests for the core WeightedGraph structure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import GraphError, InvalidWeightError
+from repro.graphs import WeightedGraph, ring, path
+from repro.numeric import EXACT, FLOAT
+
+
+def test_basic_construction_and_accessors():
+    g = WeightedGraph(3, [(0, 1), (1, 2)], [1, 2, 3])
+    assert g.n == 3
+    assert g.m == 2
+    assert g.neighbors(1) == (0, 2)
+    assert g.degree(0) == 1
+    assert g.has_edge(0, 1) and g.has_edge(1, 0)
+    assert not g.has_edge(0, 2)
+    assert list(g.vertices()) == [0, 1, 2]
+
+
+def test_edges_are_normalized_and_sorted():
+    g = WeightedGraph(3, [(2, 1), (1, 0)], [1, 1, 1])
+    assert g.edges == ((0, 1), (1, 2))
+
+
+def test_default_labels():
+    g = WeightedGraph(2, [(0, 1)], [1, 1])
+    assert g.labels == ("v0", "v1")
+
+
+def test_custom_labels_length_checked():
+    with pytest.raises(GraphError):
+        WeightedGraph(2, [(0, 1)], [1, 1], labels=["a"])
+
+
+def test_rejects_self_loop():
+    with pytest.raises(GraphError):
+        WeightedGraph(2, [(0, 0)], [1, 1])
+
+
+def test_rejects_duplicate_edge_either_orientation():
+    with pytest.raises(GraphError):
+        WeightedGraph(2, [(0, 1), (1, 0)], [1, 1])
+
+
+def test_rejects_out_of_range_edge():
+    with pytest.raises(GraphError):
+        WeightedGraph(2, [(0, 5)], [1, 1])
+
+
+def test_rejects_negative_weight():
+    with pytest.raises(InvalidWeightError):
+        WeightedGraph(1, [], [-1])
+
+
+def test_rejects_nan_weight():
+    with pytest.raises(InvalidWeightError):
+        WeightedGraph(1, [], [float("nan")])
+
+
+def test_rejects_wrong_weight_count():
+    with pytest.raises(GraphError):
+        WeightedGraph(2, [(0, 1)], [1])
+
+
+def test_zero_weight_is_allowed():
+    g = WeightedGraph(2, [(0, 1)], [0, 1])
+    assert g.weights[0] == 0
+
+
+def test_neighborhood_of_set_includes_internal_neighbors():
+    # Gamma(S) may intersect S: on a triangle, Gamma({0,1}) = {0,1,2}.
+    g = ring([1, 1, 1])
+    assert g.neighborhood([0, 1]) == frozenset({0, 1, 2})
+
+
+def test_neighborhood_excludes_self_without_edges():
+    g = path([1, 1, 1])
+    assert g.neighborhood([0]) == frozenset({1})
+
+
+def test_weight_of_float_and_exact():
+    g = path([1, 2, 3])
+    assert g.weight_of([0, 2], FLOAT) == pytest.approx(4.0)
+    assert g.weight_of([0, 2], EXACT) == Fraction(4)
+    assert g.total_weight(EXACT) == Fraction(6)
+
+
+def test_is_independent():
+    g = path([1, 1, 1, 1])
+    assert g.is_independent([0, 2])
+    assert not g.is_independent([0, 1])
+    assert g.is_independent([])
+
+
+def test_induced_subgraph_remaps_ids():
+    g = ring([1, 2, 3, 4])
+    sub, remap = g.induced_subgraph([1, 2, 3])
+    assert sub.n == 3
+    assert remap == {1: 0, 2: 1, 3: 2}
+    assert sub.weights == (2, 3, 4)
+    assert sub.edges == ((0, 1), (1, 2))
+    assert sub.labels == ("v1", "v2", "v3")
+
+
+def test_with_weight_replaces_single_weight():
+    g = path([1, 2, 3])
+    g2 = g.with_weight(1, 9)
+    assert g2.weights == (1, 9, 3)
+    assert g.weights == (1, 2, 3)  # original untouched
+    assert g2.edges == g.edges
+
+
+def test_with_weight_rejects_bad_vertex():
+    g = path([1, 2])
+    with pytest.raises(GraphError):
+        g.with_weight(5, 1)
+
+
+def test_with_weights_full_replacement():
+    g = ring([1, 1, 1])
+    g2 = g.with_weights([4, 5, 6])
+    assert g2.weights == (4, 5, 6)
+    assert g2.edges == g.edges
+
+
+def test_is_connected():
+    assert path([1, 1, 1]).is_connected()
+    assert not WeightedGraph(3, [(0, 1)], [1, 1, 1]).is_connected()
+    assert WeightedGraph(0, [], []).is_connected()
+
+
+def test_is_ring_and_path_predicates():
+    assert ring([1, 1, 1]).is_ring()
+    assert not path([1, 1, 1]).is_ring()
+    assert path([1, 1]).is_path_graph()
+    assert not ring([1, 1, 1]).is_path_graph()
+    # two disjoint edges: not a path
+    assert not WeightedGraph(4, [(0, 1), (2, 3)], [1] * 4).is_path_graph()
+
+
+def test_is_bipartite():
+    assert ring([1, 1, 1, 1]).is_bipartite()  # even ring
+    assert not ring([1, 1, 1]).is_bipartite()  # odd ring
+    assert path([1, 1, 1]).is_bipartite()
+
+
+def test_equality_and_hash():
+    a = ring([1, 2, 3])
+    b = ring([1, 2, 3])
+    c = ring([1, 2, 4])
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+
+
+def test_label_map():
+    g = WeightedGraph(2, [(0, 1)], [1, 1], labels=["x", "y"])
+    assert g.label_map() == {"x": 0, "y": 1}

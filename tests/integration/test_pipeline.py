@@ -1,0 +1,111 @@
+"""End-to-end integration tests across module boundaries.
+
+Each test exercises a full pipeline the way a downstream user would:
+graph -> decomposition -> allocation -> dynamics -> attack -> theory check,
+with cross-backend and cross-module consistency as the assertions.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import (
+    EXACT,
+    FLOAT,
+    bd_allocation,
+    best_split,
+    bottleneck_decomposition,
+    incentive_ratio,
+    lower_bound_ring,
+    proportional_response,
+    ring,
+)
+from repro.attack import honest_split, split_ring
+from repro.graphs import random_ring
+from repro.io import graph_from_dict, graph_to_dict
+from repro.theory import check_stage_lemmas, check_theorem8, ring_class_of
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_three_routes_to_the_same_equilibrium(seed):
+    """Mechanism (exact), mechanism (float), and simulated dynamics must
+    agree on every agent's utility."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 9))
+    g_int = random_ring(n, rng, "integer", 1, 9)
+    g_exact = g_int.with_weights([Fraction(w) for w in g_int.weights])
+    g_float = g_int.with_weights([float(w) for w in g_int.weights])
+
+    u_exact = bd_allocation(g_exact, backend=EXACT).utilities
+    u_float = bd_allocation(g_float, backend=FLOAT).utilities
+    dyn = proportional_response(g_float, tol=1e-12, damping=0.3, max_iters=100_000)
+
+    for v in range(n):
+        assert float(u_float[v]) == pytest.approx(float(u_exact[v]), rel=1e-9)
+        assert dyn.utility_of(v) == pytest.approx(float(u_exact[v]), rel=1e-6)
+
+
+def test_attack_pipeline_on_adversarial_family():
+    """Full attack pipeline: family -> best response -> split -> stage
+    decomposition -> Theorem 8 check, all mutually consistent."""
+    g = lower_bound_ring(500)
+    br = best_split(g, 1, grid=128)
+    out = split_ring(g, 1, br.w1, br.w2, FLOAT)
+    assert float(out.attacker_utility) == pytest.approx(br.utility, rel=1e-9)
+
+    rep, verdict = check_stage_lemmas(g, 1, grid=64)
+    assert verdict.ok
+    assert rep.total_gain + rep.honest_utility == pytest.approx(br.utility, rel=1e-6)
+
+    t8 = check_theorem8(g, grid=64)
+    assert t8.ok
+    assert t8.data["zeta"] == pytest.approx(br.ratio, rel=1e-6)
+
+
+def test_serialized_instance_reproduces_results(tmp_path):
+    """Archive an instance, reload it, and get bit-identical analysis."""
+    g = random_ring(6, np.random.default_rng(3), "loguniform", 0.1, 10)
+    zeta_before = incentive_ratio(g, grid=16).zeta
+    g2 = graph_from_dict(graph_to_dict(g))
+    assert g2 == g
+    assert incentive_ratio(g2, grid=16).zeta == zeta_before
+
+
+def test_honest_split_is_fixed_point_of_attack_search():
+    """On a no-gain instance the best response finds ratio 1 and the honest
+    split is among the optima (uniform odd ring: fully symmetric)."""
+    g = ring([2.0] * 5)
+    br = best_split(g, 0, grid=32)
+    assert br.ratio == pytest.approx(1.0, abs=1e-9)
+    w1, w2 = honest_split(g, 0, FLOAT)
+    out = split_ring(g, 0, w1, w2, FLOAT)
+    assert float(out.attacker_utility) == pytest.approx(br.utility, rel=1e-9)
+
+
+def test_class_semantics_consistent_between_modules():
+    """ring_class_of (theory) must agree with the decomposition's raw
+    membership whenever the vertex is single-class."""
+    rng = np.random.default_rng(9)
+    for _ in range(5):
+        g = random_ring(6, rng, "loguniform", 0.1, 10)
+        d = bottleneck_decomposition(g, FLOAT)
+        for v in range(g.n):
+            cls = ring_class_of(g, v, FLOAT)
+            if d.in_B(v) and not d.in_C(v):
+                assert cls.value == "B"
+            elif d.in_C(v) and not d.in_B(v):
+                assert cls.value == "C"
+
+
+def test_unit_pair_allocation_is_dynamics_fixed_point():
+    """Regression for the symmetrization bug: the BD allocation on a unit
+    pair must be invariant under one proportional-response step."""
+    for ws in ([1.0, 1.0, 1.0], [2.0, 3.0, 4.0, 3.0, 2.0], [1.0, 2.0, 2.0, 1.0]):
+        g = ring(ws)
+        d = bottleneck_decomposition(g, FLOAT)
+        alloc = bd_allocation(g, d, FLOAT)
+        # one PR step: x'_vu = x_uv / U_v * w_v must return the same x
+        for (v, u), amount in alloc.x.items():
+            got = alloc.x.get((u, v), 0.0) / float(alloc.utilities[v]) * float(g.weights[v])
+            assert got == pytest.approx(float(amount), rel=1e-9, abs=1e-12)

@@ -1,0 +1,74 @@
+"""Property-based tests for the attack layer and Theorem 8's bound."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attack import best_split, honest_split, split_ring
+from repro.core import bd_allocation
+from repro.graphs import ring
+from repro.numeric import EXACT, FLOAT
+
+
+ring_weights = st.lists(
+    st.floats(min_value=0.01, max_value=100, allow_nan=False, allow_infinity=False),
+    min_size=3, max_size=7,
+)
+
+
+@given(ring_weights, st.integers(0, 6))
+@settings(max_examples=25, deadline=None)
+def test_theorem8_bound_holds(ws, v_raw):
+    g = ring(ws)
+    v = v_raw % g.n
+    br = best_split(g, v, grid=16)
+    assert br.ratio <= 2.0 + 1e-6
+
+
+@given(ring_weights, st.integers(0, 6))
+@settings(max_examples=25, deadline=None)
+def test_best_split_weights_valid(ws, v_raw):
+    g = ring(ws)
+    v = v_raw % g.n
+    br = best_split(g, v, grid=12)
+    assert -1e-12 <= br.w1 <= float(g.weights[v]) + 1e-9
+    assert abs(br.w1 + br.w2 - float(g.weights[v])) <= 1e-9 * max(1.0, float(g.weights[v]))
+    assert br.utility >= 0
+
+
+@given(st.lists(st.integers(1, 40), min_size=3, max_size=7), st.integers(0, 6))
+@settings(max_examples=25, deadline=None)
+def test_honest_split_neutral_exact(ws, v_raw):
+    """Lemma 9, property form: the honest split never changes U_v."""
+    g = ring([Fraction(w) for w in ws])
+    v = v_raw % g.n
+    w1, w2 = honest_split(g, v, EXACT)
+    out = split_ring(g, v, w1, w2, EXACT)
+    assert out.attacker_utility == bd_allocation(g, backend=EXACT).utilities[v]
+
+
+@given(st.lists(st.integers(1, 40), min_size=3, max_size=6),
+       st.integers(0, 5), st.integers(0, 16))
+@settings(max_examples=25, deadline=None)
+def test_any_split_is_at_most_double(ws, v_raw, k):
+    """Theorem 8 holds pointwise, not just at the optimum."""
+    g = ring([Fraction(w) for w in ws])
+    v = v_raw % g.n
+    w1 = Fraction(k, 16) * g.weights[v]
+    out = split_ring(g, v, w1, g.weights[v] - w1, EXACT)
+    truthful = bd_allocation(g, backend=EXACT).utilities[v]
+    assert out.attacker_utility <= 2 * truthful
+
+
+@given(st.lists(st.integers(1, 40), min_size=3, max_size=6), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_split_only_redistributes_among_honest(ws, v_raw):
+    """A Sybil attack cannot create utility: whatever the attacker gains,
+    the honest agents lose in aggregate (market clearing on both graphs)."""
+    g = ring([Fraction(w) for w in ws])
+    v = v_raw % g.n
+    w1 = g.weights[v] / 3
+    out = split_ring(g, v, w1, g.weights[v] - w1, EXACT)
+    total_ring = sum(bd_allocation(g, backend=EXACT).utilities)
+    total_path = sum(out.allocation.utilities)
+    assert total_ring == total_path == sum(g.weights)

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These complement the randomized pytest sweeps with shrinking: when a
+property fails, hypothesis reduces the instance to a minimal witness,
+which is exactly what you want for combinatorial code like the bottleneck
+machinery.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    alpha_ratio,
+    bd_allocation,
+    bottleneck_decomposition,
+    brute_force_min_alpha,
+    closed_form_utilities,
+)
+from repro.graphs import WeightedGraph, path, ring
+from repro.numeric import EXACT
+
+
+# -- strategies -------------------------------------------------------------
+
+weights_st = st.lists(st.integers(min_value=1, max_value=50), min_size=3, max_size=8)
+weights_with_zero_st = st.lists(st.integers(min_value=0, max_value=50), min_size=3, max_size=8)
+
+
+def _connected_graph(draw, weights):
+    n = len(weights)
+    edges = {(i - 1, i) for i in range(1, n)}  # spanning path
+    extra = draw(st.sets(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).map(
+            lambda t: (min(t), max(t))
+        ).filter(lambda t: t[0] != t[1]),
+        max_size=n,
+    ))
+    return WeightedGraph(n, sorted(edges | extra), weights)
+
+
+graph_st = st.builds(lambda: None)  # placeholder replaced by composite below
+
+
+@st.composite
+def graphs(draw, allow_zero=False):
+    ws = draw(weights_with_zero_st if allow_zero else weights_st)
+    if allow_zero and sum(ws) == 0:
+        ws[0] = 1
+    return _connected_graph(draw, ws)
+
+
+@st.composite
+def rings(draw):
+    return ring(draw(weights_st))
+
+
+# -- properties -------------------------------------------------------------
+
+@given(rings())
+@settings(max_examples=40, deadline=None)
+def test_alpha_of_whole_graph_at_most_one(g):
+    assert alpha_ratio(g, list(g.vertices()), EXACT) <= 1
+
+
+@given(graphs())
+@settings(max_examples=30, deadline=None)
+def test_decomposition_covers_and_alphas_increase(g):
+    d = bottleneck_decomposition(g, EXACT)
+    covered = set()
+    for p in d.pairs:
+        covered |= p.members()
+    assert covered == set(g.vertices())
+    alphas = d.alphas()
+    assert all(a > 0 for a in alphas)
+    assert all(alphas[i] < alphas[i + 1] for i in range(len(alphas) - 1))
+    assert alphas[-1] <= 1
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_first_alpha_is_global_minimum(g):
+    d = bottleneck_decomposition(g, EXACT)
+    assert d.pairs[0].alpha == brute_force_min_alpha(g)
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_allocation_feasibility(g):
+    alloc = bd_allocation(g, backend=EXACT)
+    alloc.check_feasible()
+    # exact budget balance: everyone spends exactly its endowment
+    for v in g.vertices():
+        assert alloc.sent(v) == g.weights[v]
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_market_clears(g):
+    # total received equals total weight (resource neither minted nor lost)
+    alloc = bd_allocation(g, backend=EXACT)
+    assert sum(alloc.utilities) == sum(g.weights)
+
+
+@given(graphs())
+@settings(max_examples=25, deadline=None)
+def test_utilities_match_closed_form(g):
+    d = bottleneck_decomposition(g, EXACT)
+    alloc = bd_allocation(g, d, EXACT)
+    for v, cf in enumerate(closed_form_utilities(d)):
+        assert cf is not None and alloc.utilities[v] == cf
+
+
+@given(graphs(allow_zero=True))
+@settings(max_examples=25, deadline=None)
+def test_zero_weights_never_crash_and_stay_feasible(g):
+    alloc = bd_allocation(g, backend=EXACT)
+    alloc.check_feasible()
+    for v in g.vertices():
+        if g.weights[v] == 0:
+            assert alloc.utilities[v] >= 0
+    assert sum(alloc.utilities) == sum(g.weights)
+
+
+@given(rings(), st.integers(0, 7), st.integers(0, 16))
+@settings(max_examples=30, deadline=None)
+def test_misreport_never_beats_truth(g, v_raw, k):
+    v = v_raw % g.n
+    from repro.attack import utility_of_report
+
+    truthful = bd_allocation(g, backend=EXACT).utilities[v]
+    x = Fraction(k, 16) * g.weights[v]
+    assert utility_of_report(g, v, x, EXACT) <= truthful
+
+
+@given(rings(), st.integers(0, 7), st.integers(1, 15))
+@settings(max_examples=25, deadline=None)
+def test_sybil_split_conserves_total_resource(g, v_raw, num):
+    from repro.attack import split_ring
+
+    v = v_raw % g.n
+    w1 = Fraction(num, 16) * g.weights[v]
+    out = split_ring(g, v, w1, g.weights[v] - w1, EXACT)
+    assert sum(out.path.weights) == sum(g.weights)
+    # equilibrium on the path also clears
+    assert sum(out.allocation.utilities) == sum(out.path.weights)

@@ -1,0 +1,42 @@
+"""Tests for the repro-exp command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "EXP-T8" in out and "EXP-F1" in out
+
+
+def test_run_command_smoke(capsys, tmp_path):
+    json_path = str(tmp_path / "out.json")
+    code = main(["run", "EXP-F1", "--scale", "smoke", "--json", json_path])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out and "PASS" in out
+    payload = json.loads(open(json_path).read())
+    assert payload["exp_id"] == "EXP-F1" and payload["ok"] is True
+
+
+def test_run_lowercase_id(capsys):
+    assert main(["run", "exp-f1", "--scale", "smoke"]) == 0
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "EXP-NOPE"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_parser_rejects_bad_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "EXP-F1", "--scale", "huge"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,82 @@
+"""Tests for the numeric backend adapters."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.numeric import (
+    DEFAULT_TOL,
+    EXACT,
+    FLOAT,
+    as_fraction,
+    as_fractions,
+    make_float_backend,
+)
+
+
+def test_as_fraction_int_and_fraction():
+    assert as_fraction(3) == Fraction(3)
+    assert as_fraction(Fraction(1, 3)) == Fraction(1, 3)
+
+
+def test_as_fraction_float_limits_denominator():
+    f = as_fraction(0.1)
+    assert f == Fraction(1, 10)  # limit_denominator snaps to the nice value
+
+
+def test_as_fraction_rejects_non_finite():
+    with pytest.raises(ValueError):
+        as_fraction(float("nan"))
+    with pytest.raises(ValueError):
+        as_fraction(math.inf)
+    with pytest.raises(TypeError):
+        as_fraction("0.5")
+
+
+def test_as_fractions():
+    assert as_fractions([1, 2]) == [Fraction(1), Fraction(2)]
+
+
+def test_exact_backend_properties():
+    assert EXACT.is_exact
+    assert EXACT.scalar(0.5) == Fraction(1, 2)
+    assert EXACT.eq(Fraction(1, 3), Fraction(1, 3))
+    assert not EXACT.eq(Fraction(1, 3), Fraction(1, 3) + Fraction(1, 10**12))
+    assert EXACT.lt(Fraction(1), Fraction(2))
+    assert EXACT.total([Fraction(1, 2), Fraction(1, 3)]) == Fraction(5, 6)
+
+
+def test_float_backend_tolerant_comparisons():
+    assert not FLOAT.is_exact
+    assert FLOAT.eq(1.0, 1.0 + DEFAULT_TOL / 2)
+    assert not FLOAT.eq(1.0, 1.0 + DEFAULT_TOL * 10)
+    assert FLOAT.lt(1.0, 1.1)
+    assert not FLOAT.lt(1.0, 1.0 + DEFAULT_TOL / 2)
+    assert FLOAT.le(1.0 + DEFAULT_TOL / 2, 1.0)
+    assert FLOAT.ge(1.0, 1.0)
+    assert FLOAT.gt(1.1, 1.0)
+    assert FLOAT.is_zero(DEFAULT_TOL / 2)
+    assert FLOAT.nonneg(-DEFAULT_TOL / 2)
+    assert not FLOAT.nonneg(-1.0)
+
+
+def test_float_backend_scalar_conversion():
+    assert FLOAT.scalar(Fraction(1, 2)) == 0.5
+    assert FLOAT.scalars([1, 2]) == [1.0, 2.0]
+
+
+def test_make_float_backend():
+    b = make_float_backend(1e-6)
+    assert b.tol == 1e-6
+    assert "1e-06" in b.name
+    assert b.eq(1.0, 1.0 + 5e-7)
+    with pytest.raises(ValueError):
+        make_float_backend(0.0)
+    with pytest.raises(ValueError):
+        make_float_backend(float("inf"))
+
+
+def test_total_preserves_exactness():
+    total = EXACT.total([Fraction(1, 3)] * 3)
+    assert total == 1 and isinstance(total, Fraction)

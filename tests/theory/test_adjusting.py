@@ -1,0 +1,68 @@
+"""Tests for the standalone Adjusting Technique implementation."""
+
+import numpy as np
+import pytest
+
+from repro.attack import honest_split
+from repro.exceptions import AttackError
+from repro.graphs import random_ring, ring
+from repro.numeric import FLOAT
+from repro.theory import adjusting_technique, same_pair
+
+
+def test_noop_when_endpoints_in_different_pairs():
+    # lower-bound-style ring: endpoints separate immediately
+    g = ring([1.0, 1.0, 0.01, 0.01, 100.0])
+    w1, w2 = honest_split(g, 1, FLOAT)
+    if not same_pair(g, 1, w1, w2, FLOAT):
+        adj = adjusting_technique(g, 1, w1, w2, w2 * 0.5)
+        assert not adj.applied
+        assert adj.z == 0
+        assert adj.w1 == w1 and adj.w2 == w2
+
+
+def test_uniform_ring_critical_point_is_the_start():
+    # uniform odd ring: the symmetric honest split sits exactly at the
+    # regime boundary (any slide breaks the unit pair), so the critical z
+    # is 0 and the start is unchanged
+    g = ring([2.0] * 5)
+    w1, w2 = honest_split(g, 0, FLOAT)
+    assert same_pair(g, 0, w1, w2, FLOAT)
+    adj = adjusting_technique(g, 0, w1, w2, float(w2) * 0.25)
+    assert float(adj.z) <= 1e-9
+    assert adj.utility_invariant
+
+
+def test_mixed_membership_shared_pair_is_not_slid():
+    # zero-weight endpoint absorbed into B while the other is C (Case C-2
+    # shape): the slide is not neutral and must not be applied
+    import numpy as np
+    from repro.graphs import random_ring as _rr
+
+    rng = np.random.default_rng(3)
+    g = _rr(int(rng.integers(3, 8)), rng, "integer", 1, 9)
+    gf = g.with_weights([float(w) for w in g.weights])
+    v = int(rng.integers(0, g.n))
+    w1, w2 = honest_split(gf, v, FLOAT)
+    adj = adjusting_technique(gf, v, w1, w2, float(w2) * 0.5)
+    assert adj.utility_invariant  # either unapplied or genuinely neutral
+
+
+def test_rejects_backward_slide():
+    g = ring([2.0] * 5)
+    w1, w2 = honest_split(g, 0, FLOAT)
+    with pytest.raises(AttackError):
+        adjusting_technique(g, 0, w1, w2, float(w2) + 1.0)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_slide_is_always_utility_invariant(seed):
+    rng = np.random.default_rng(seed)
+    g = random_ring(int(rng.integers(3, 8)), rng, "integer", 1, 9)
+    gf = g.with_weights([float(w) for w in g.weights])
+    v = int(rng.integers(0, g.n))
+    w1, w2 = honest_split(gf, v, FLOAT)
+    adj = adjusting_technique(gf, v, w1, w2, float(w2) * 0.5)
+    assert adj.utility_invariant
+    assert 0 <= float(adj.z) <= float(w2) * 0.5 + 1e-9
+    assert float(adj.w1) + float(adj.w2) == pytest.approx(float(w1) + float(w2))

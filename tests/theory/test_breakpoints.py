@@ -1,0 +1,88 @@
+"""Tests for regime sweeps (Section III-B interval partition)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs import ring, star
+from repro.numeric import EXACT, FLOAT
+from repro.theory import (
+    decomposition_signature,
+    regimes_of_report,
+    regimes_of_split,
+    sweep_regimes,
+)
+from repro.core import bottleneck_decomposition
+
+
+def test_signature_is_structural_only():
+    g = ring([1, 2, 3])
+    d = bottleneck_decomposition(g, EXACT)
+    sig = decomposition_signature(d)
+    # same structure with scaled weights -> same signature
+    d2 = bottleneck_decomposition(ring([2, 4, 6]), EXACT)
+    assert decomposition_signature(d2) == sig
+
+
+def test_star_center_report_has_two_regimes():
+    # star center: C class below x*=3 (B1 = leaves) and B class above;
+    # the regime partition must find the breakpoint at 3 (alpha = 1 point
+    # is a single-point regime absorbed into a boundary).
+    g = star(10, [1, 1, 1])
+    regimes = regimes_of_report(g, 0, probes=17, gap=1e-9, backend=FLOAT)
+    assert len(regimes) >= 2
+    # breakpoint detected near 3
+    cuts = [float(r.hi) for r in regimes[:-1]]
+    assert any(abs(c - 3.0) < 1e-6 for c in cuts)
+
+
+def test_uniform_ring_single_regime():
+    g = ring([1.0] * 5)
+    regimes = regimes_of_report(g, 0, probes=9)
+    # decomposition may change near x=0; structure is constant on most of
+    # the interval
+    assert len(regimes) <= 3
+
+
+def test_exact_backend_regimes():
+    g = star(Fraction(10), [1, 1, 1])
+    regimes = regimes_of_report(g, 0, probes=9, gap=1e-6, backend=EXACT)
+    assert len(regimes) >= 2
+    # exact backend keeps Fractions through bisection
+    assert isinstance(regimes[0].hi, Fraction)
+
+
+def test_sweep_regimes_generic():
+    calls = []
+
+    def evaluate(x):
+        calls.append(x)
+        return ("lo",) if x < 0.37 else ("hi",)
+
+    regimes = sweep_regimes(evaluate, 0.0, 1.0, probes=9, gap=1e-9, backend=FLOAT)
+    assert len(regimes) == 2
+    assert abs(float(regimes[0].hi) - 0.37) < 1e-6
+    assert regimes[0].signature == ("lo",)
+    assert regimes[1].signature == ("hi",)
+
+
+def test_sweep_regimes_validates_input():
+    with pytest.raises(ValueError):
+        sweep_regimes(lambda x: (1,), 0, 1, probes=1)
+    with pytest.raises(ValueError):
+        sweep_regimes(lambda x: (1,), 1, 1)
+
+
+def test_regimes_of_split_moving_choices():
+    g = ring([2.0, 1.0, 1.0, 1.0])
+    r1 = regimes_of_split(g, 0, moving="w1", fixed_value=0.5, probes=9)
+    r2 = regimes_of_split(g, 0, moving="w2", fixed_value=0.5, probes=9)
+    assert len(r1) >= 1 and len(r2) >= 1
+    with pytest.raises(ValueError):
+        regimes_of_split(g, 0, moving="w3")
+
+
+def test_regime_representative_inside_interval():
+    g = star(10, [1, 1, 1])
+    for r in regimes_of_report(g, 0, probes=9):
+        assert float(r.lo) <= float(r.representative) <= float(r.hi)

@@ -1,0 +1,94 @@
+"""Tests for the stage decomposition and initial-form classification."""
+
+import numpy as np
+import pytest
+
+from repro.attack import lower_bound_ring
+from repro.core import VertexClass
+from repro.graphs import random_ring, ring
+from repro.numeric import FLOAT
+from repro.theory import (
+    InitialForm,
+    classify_initial_form,
+    check_stage_lemmas,
+    ring_class_of,
+    stage_report,
+)
+
+
+def test_ring_class_uniform_ring_defaults_to_c():
+    # unit pair: BOTH -> paper's convention picks C
+    g = ring([1.0] * 5)
+    assert ring_class_of(g, 0) is VertexClass.C
+
+
+def test_ring_class_lower_bound_attacker_is_b():
+    g = lower_bound_ring(100)
+    assert ring_class_of(g, 1) is VertexClass.B
+
+
+def test_ring_class_heavy_vs_light():
+    # alternating heavy/light: lights are C? B1 = heavier side...
+    g = ring([10.0, 1.0, 10.0, 1.0])
+    # B class = the side whose alpha < 1 in B; heavy vertices give w*alpha
+    cls_heavy = ring_class_of(g, 0)
+    cls_light = ring_class_of(g, 1)
+    assert {cls_heavy, cls_light} == {VertexClass.B, VertexClass.C}
+
+
+def test_classify_initial_form_d1_for_b_class():
+    g = lower_bound_ring(100)
+    from repro.attack import honest_split
+
+    w1, w2 = honest_split(g, 1, FLOAT)
+    form = classify_initial_form(g, 1, float(w1), float(w2))
+    assert form is InitialForm.D1
+
+
+def test_classify_initial_form_c2_zero_weight_side():
+    # C-class attacker with all weight on one side: v1 has w=0
+    g = ring([10.0, 1.0, 10.0, 1.0])
+    v = 1 if ring_class_of(g, 1) is VertexClass.C else 0
+    form = classify_initial_form(g, v, 0.0, float(g.weights[v]))
+    assert form in (InitialForm.C2, InitialForm.C3, InitialForm.C1)
+
+
+def test_stage_report_lower_bound_family():
+    g = lower_bound_ring(1000)
+    rep = stage_report(g, 1, grid=64)
+    assert rep.ring_class is VertexClass.B
+    assert rep.initial_form is InitialForm.D1
+    # the attack nearly doubles the utility: total gain ~ U_v
+    assert rep.total_gain == pytest.approx(rep.honest_utility, rel=5e-3)
+    assert all(rep.lemma_bounds().values())
+
+
+def test_stage_report_total_gain_consistency():
+    rng = np.random.default_rng(5)
+    g = random_ring(6, rng, "loguniform", 0.1, 10)
+    for v in range(3):
+        rep = stage_report(g, v, grid=24)
+        # sum of stage deltas telescopes to the total gain
+        total = (rep.delta_v1_stage1 + rep.delta_v2_stage1
+                 + rep.delta_v1_stage2 + rep.delta_v2_stage2)
+        assert total == pytest.approx(rep.total_gain, abs=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_stage_lemmas_hold_on_random_rings(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 8))
+    g = random_ring(n, rng, "loguniform", 0.05, 20)
+    v = int(rng.integers(0, n))
+    rep, verdict = check_stage_lemmas(g, v, grid=24)
+    assert verdict.ok, f"{verdict.details}; report={rep}"
+
+
+def test_stage_report_theorem8_consequence():
+    """The stage bookkeeping reproduces Theorem 8: gain <= U_v."""
+    rng = np.random.default_rng(17)
+    for _ in range(5):
+        g = random_ring(5, rng, "loguniform", 0.01, 100)
+        for v in range(5):
+            rep = stage_report(g, v, grid=24)
+            assert rep.total_gain <= rep.honest_utility * (1 + 1e-6) + 1e-9
