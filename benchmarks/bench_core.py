@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attack import best_split
+from repro.attack import best_split, incentive_ratio
 from repro.core import bd_allocation, bottleneck_decomposition, proportional_response
+from repro.engine import EngineContext
 from repro.flow import FlowNetwork, dinic_max_flow, edmonds_karp_max_flow, push_relabel_max_flow
 from repro.graphs import random_ring
 from repro.numeric import EXACT, FLOAT
@@ -57,6 +58,28 @@ def bench_best_response(benchmark, n):
     g = _ring(n, seed=2)
     r = benchmark(best_split, g, 0, 24)
     assert r.ratio <= 2.0 + 1e-6
+
+
+@pytest.mark.parametrize("cache", [0, 1024], ids=["uncached", "cached"])
+def bench_best_response_cache(benchmark, cache):
+    """Steady-state cached vs uncached best-response sweeps.
+
+    One long-lived context serves repeated ``incentive_ratio`` queries --
+    the sweep-resume / interactive usage pattern.  Within a single query the
+    cache only absorbs the per-vertex truthful re-decompositions, but across
+    queries every split decomposition repeats, so the cached rows should sit
+    far below the uncached ones while producing identical zeta values.
+    """
+    g = _ring(8, seed=3)
+    ctx = EngineContext(cache_size=cache)
+
+    def sweep():
+        return incentive_ratio(g, grid=16, ctx=ctx)
+
+    inst = benchmark(sweep)
+    assert inst.zeta <= 2.0 + 1e-6
+    stats = ctx.stats()
+    assert (stats["cache"]["hits"] > 0) == bool(cache)
 
 
 def _bipartite_net(n: int, seed: int = 0):

@@ -14,12 +14,15 @@ Mechanism:   :func:`~repro.core.bottleneck_decomposition`,
 Attacks:     :func:`~repro.attack.split_ring`, :func:`~repro.attack.best_split`,
              :func:`~repro.attack.incentive_ratio`,
              :func:`~repro.attack.lower_bound_ring`
+Engine:      :class:`~repro.engine.EngineContext` (solver choice, caching,
+             counters -- thread one through any of the calls above)
 Theory:      :mod:`repro.theory` (executable propositions/lemmas)
 Experiments: :func:`repro.experiments.run_experiment` / the ``repro-exp`` CLI
 """
 
 from ._version import __version__
 from .numeric import EXACT, FLOAT, Backend, make_float_backend
+from .engine import EngineContext, EngineSpec, SOLVERS
 from .exceptions import ReproError
 from .graphs import WeightedGraph, ring, path, random_ring
 from .core import (
@@ -43,6 +46,9 @@ __all__ = [
     "FLOAT",
     "Backend",
     "make_float_backend",
+    "EngineContext",
+    "EngineSpec",
+    "SOLVERS",
     "ReproError",
     "WeightedGraph",
     "ring",

@@ -14,16 +14,21 @@ the library's sweep shape:
   keeps tests fast and avoids fork overhead for small sweeps.
 
 Graphs and results cross process boundaries by pickling; everything in
-:mod:`repro.graphs` is plain-data and pickles cheaply.
+:mod:`repro.graphs` is plain-data and pickles cheaply.  Engine
+configuration crosses as a frozen :class:`~repro.engine.EngineSpec` --
+never as a live :class:`~repro.engine.EngineContext`, whose cache and
+counters are per-process state -- and each worker memoizes one rebuilt
+context per spec so all of its cells share a decomposition cache.  Worker
+counters are process-local and discarded; only the serial path accumulates
+into the caller's context.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-import numpy as np
-
+from ..engine import EngineContext, EngineSpec, resolve_context
 from ..graphs import WeightedGraph
 
 __all__ = ["parallel_map", "parallel_incentive_sweep"]
@@ -51,31 +56,59 @@ def parallel_map(
         return pool.map(fn, items, chunksize=max(1, chunksize))
 
 
-def _ratio_cell(args: tuple[WeightedGraph, int, int]) -> float:
-    g, v, grid = args
+#: Per-process memo of contexts rebuilt from specs (one cache per worker).
+_WORKER_CONTEXTS: dict[EngineSpec, EngineContext] = {}
+
+
+def _context_for(spec: EngineSpec | None) -> EngineContext | None:
+    if spec is None:
+        return None
+    ctx = _WORKER_CONTEXTS.get(spec)
+    if ctx is None:
+        ctx = _WORKER_CONTEXTS.setdefault(spec, spec.build())
+    return ctx
+
+
+def _ratio_cell(args: tuple) -> float:
+    """One (graph, vertex) best-response cell; 4th tuple slot (optional)
+    is an :class:`EngineSpec` rebuilt into a per-worker context."""
+    g, v, grid, *rest = args
+    ctx = _context_for(rest[0] if rest else None)
     from ..attack import best_split
 
-    return best_split(g, v, grid=grid).ratio
+    return best_split(g, v, grid=grid, ctx=ctx).ratio
 
 
 def parallel_incentive_sweep(
     graphs: Iterable[WeightedGraph],
     grid: int = 48,
-    processes: int = 0,
+    processes: Optional[int] = None,
+    ctx: EngineContext | None = None,
 ) -> list[float]:
     """Worst ``zeta_v`` per instance, optionally across processes.
 
     Expands every (graph, vertex) pair into one work item so load balances
     even when instance sizes vary, then folds the per-vertex ratios back
-    into per-instance maxima.
+    into per-instance maxima.  ``processes=None`` defers to ``ctx.workers``
+    (serial for the default context); serial runs share ``ctx`` directly so
+    its counters and cache see every cell.
     """
+    rctx = resolve_context(ctx)
+    procs = rctx.resolve_workers(processes)
     graphs = list(graphs)
-    items: list[tuple[WeightedGraph, int, int]] = []
+    cells: list[tuple[WeightedGraph, int]] = []
     offsets: list[int] = []
     for g in graphs:
-        offsets.append(len(items))
-        items.extend((g, v, grid) for v in g.vertices())
-    flat = parallel_map(_ratio_cell, items, processes=processes)
+        offsets.append(len(cells))
+        cells.extend((g, v) for v in g.vertices())
+    if procs <= 0 or len(cells) <= 1:
+        from ..attack import best_split
+
+        flat = [best_split(g, v, grid=grid, ctx=rctx).ratio for g, v in cells]
+    else:
+        spec = rctx.spec()
+        items = [(g, v, grid, spec) for g, v in cells]
+        flat = parallel_map(_ratio_cell, items, processes=procs)
     out: list[float] = []
     for i, g in enumerate(graphs):
         start = offsets[i]

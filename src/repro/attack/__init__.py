@@ -1,6 +1,12 @@
 """Sybil attack machinery: splits, best responses, incentive ratios."""
 
-from .sybil import SplitOutcome, attacker_utility, honest_split, split_ring
+from .sybil import (
+    SplitOutcome,
+    attacker_utility,
+    honest_split,
+    honest_split_from_allocation,
+    split_ring,
+)
 from .misreport import alpha_curve, report_weight, utility_curve, utility_of_report
 from .best_response import BestResponse, best_split, utility_of_split_curve
 from .incentive_ratio import InstanceRatio, incentive_ratio, incentive_ratio_of_vertex
@@ -38,6 +44,7 @@ __all__ = [
     "SplitOutcome",
     "attacker_utility",
     "honest_split",
+    "honest_split_from_allocation",
     "split_ring",
     "alpha_curve",
     "report_weight",

@@ -26,10 +26,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import EngineContext, resolve_context
 from ..exceptions import AttackError
 from ..graphs import WeightedGraph, require_ring
 from ..numeric import Backend, FLOAT, Scalar
-from .sybil import attacker_utility, honest_split
+from .sybil import attacker_utility, honest_split_from_allocation
 
 __all__ = ["BestResponse", "best_split", "utility_of_split_curve"]
 
@@ -53,11 +54,15 @@ class BestResponse:
 
 
 def utility_of_split_curve(
-    g: WeightedGraph, v: int, w1s, backend: Backend = FLOAT
+    g: WeightedGraph, v: int, w1s, backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> list[float]:
     """``U(w_1)`` sampled on a grid of ``w_1`` values."""
     wv = float(g.weights[v])
-    return [float(attacker_utility(g, v, float(w1), wv - float(w1), backend)) for w1 in w1s]
+    return [
+        float(attacker_utility(g, v, float(w1), wv - float(w1), backend, ctx))
+        for w1 in w1s
+    ]
 
 
 def best_split(
@@ -66,6 +71,7 @@ def best_split(
     grid: int = 64,
     refine_iters: int = 60,
     backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> BestResponse:
     """Search for ``(w_1^*, w_2^*)`` maximizing the attacker's utility.
 
@@ -85,19 +91,37 @@ def best_split(
     require_ring(g)
     if grid < 2:
         raise AttackError("grid must have at least 2 points")
+    ctx = resolve_context(ctx)
+    with ctx.counters.timed("best_response"):
+        return _best_split_search(g, v, grid, refine_iters, backend, ctx)
+
+
+def _best_split_search(
+    g: WeightedGraph,
+    v: int,
+    grid: int,
+    refine_iters: int,
+    backend: Backend,
+    ctx: EngineContext,
+) -> BestResponse:
+    from ..core import bd_allocation
+
     wv = float(g.weights[v])
-    honest = float(bd_allocation_utility(g, v, backend))
+    # One truthful solve serves both the Definition 7 denominator and the
+    # Lemma 9 honest-split candidate below (it used to be solved twice).
+    truthful = bd_allocation(g, backend=backend, ctx=ctx)
+    honest = float(truthful.utilities[v])
 
     if wv == 0:
         return BestResponse(vertex=v, w1=0.0, w2=0.0, utility=0.0, honest_utility=honest)
 
     def U(w1: float) -> float:
         w1 = min(max(w1, 0.0), wv)
-        return float(attacker_utility(g, v, w1, wv - w1, backend))
+        return float(attacker_utility(g, v, w1, wv - w1, backend, ctx))
 
     # coarse pass
     candidates = list(np.linspace(0.0, wv, grid + 1))
-    h1, h2 = honest_split(g, v, backend)
+    h1, h2 = honest_split_from_allocation(g, v, truthful, backend)
     candidates.append(float(h1))
     values = [U(w1) for w1 in candidates]
     order = int(np.argmax(values))
@@ -136,9 +160,11 @@ def best_split(
     )
 
 
-def bd_allocation_utility(g: WeightedGraph, v: int, backend: Backend) -> Scalar:
+def bd_allocation_utility(
+    g: WeightedGraph, v: int, backend: Backend, ctx: EngineContext | None = None
+) -> Scalar:
     """Truthful equilibrium utility ``U_v(G; w)`` of Definition 7's
     denominator."""
     from ..core import bd_allocation
 
-    return bd_allocation(g, backend=backend).utilities[v]
+    return bd_allocation(g, backend=backend, ctx=ctx).utilities[v]

@@ -37,6 +37,7 @@ from math import isqrt
 from typing import Callable, Sequence
 
 from ..core import bd_allocation, bottleneck_decomposition
+from ..engine import EngineContext
 from ..graphs import WeightedGraph, cut_ring_at, require_ring
 from ..numeric import EXACT
 from ..theory.breakpoints import decomposition_signature, sweep_regimes
@@ -65,11 +66,13 @@ class ExactBestResponse:
         return self.utility / self.honest_utility
 
 
-def exact_attacker_utility(g: WeightedGraph, v: int, w1: Fraction) -> Fraction:
+def exact_attacker_utility(
+    g: WeightedGraph, v: int, w1: Fraction, ctx: EngineContext | None = None
+) -> Fraction:
     """U(w1) with exact arithmetic (w2 = w_v - w1)."""
     wv = Fraction(g.weights[v])
     p, v1, v2 = cut_ring_at(g, v, w1, wv - w1)
-    alloc = bd_allocation(p, backend=EXACT)
+    alloc = bd_allocation(p, backend=EXACT, ctx=ctx)
     return alloc.utilities[v1] + alloc.utilities[v2]
 
 
@@ -283,6 +286,7 @@ def exact_best_split(
     v: int,
     probes: int = 33,
     gap: float = 1e-9,
+    ctx: EngineContext | None = None,
 ) -> ExactBestResponse:
     """Exact best response of attacker ``v`` on a rational-weight ring.
 
@@ -292,19 +296,19 @@ def exact_best_split(
     """
     require_ring(g)
     wv = Fraction(g.weights[v])
-    honest = Fraction(bd_allocation(g, backend=EXACT).utilities[v])
+    honest = Fraction(bd_allocation(g, backend=EXACT, ctx=ctx).utilities[v])
     if wv == 0:
         return ExactBestResponse(vertex=v, w1=Fraction(0), w2=Fraction(0),
                                  utility=Fraction(0), honest_utility=honest, regimes=0)
 
     def signature_at(w1) -> tuple:
         p, _, _ = cut_ring_at(g, v, Fraction(w1), wv - Fraction(w1))
-        return decomposition_signature(bottleneck_decomposition(p, EXACT))
+        return decomposition_signature(bottleneck_decomposition(p, EXACT, ctx))
 
     regimes = sweep_regimes(signature_at, Fraction(0), wv, probes=probes,
                             gap=gap, backend=EXACT)
 
-    U = lambda w1: exact_attacker_utility(g, v, w1)
+    U = lambda w1: exact_attacker_utility(g, v, w1, ctx)
 
     def maximize_interval(lo: Fraction, hi: Fraction, depth: int) -> tuple[Fraction, Fraction]:
         """Best (w, U(w)) on [lo, hi]: fit-and-maximize, or subdivide.

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import EngineContext
 from ..graphs import WeightedGraph, require_ring
 from ..numeric import Backend, FLOAT
 from .best_response import BestResponse, best_split
@@ -43,18 +44,22 @@ def incentive_ratio_of_vertex(
     v: int,
     grid: int = 64,
     backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> BestResponse:
     """``zeta_v``: best response of a single agent (Definition 7)."""
-    return best_split(g, v, grid=grid, backend=backend)
+    return best_split(g, v, grid=grid, backend=backend, ctx=ctx)
 
 
 def incentive_ratio(
     g: WeightedGraph,
     grid: int = 64,
     backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> InstanceRatio:
     """``zeta`` of one ring instance: maximize ``zeta_v`` over agents."""
     require_ring(g)
-    responses = tuple(best_split(g, v, grid=grid, backend=backend) for v in g.vertices())
+    responses = tuple(
+        best_split(g, v, grid=grid, backend=backend, ctx=ctx) for v in g.vertices()
+    )
     worst = max(range(g.n), key=lambda v: responses[v].ratio)
     return InstanceRatio(graph=g, per_vertex=responses, worst=worst)

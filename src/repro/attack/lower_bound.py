@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import EngineContext
 from ..exceptions import AttackError
 from ..graphs import WeightedGraph, ring
 from ..numeric import Backend, FLOAT
@@ -43,10 +44,11 @@ def lower_bound_ring(H: float) -> WeightedGraph:
 
 
 def lower_bound_ratio(
-    H: float, grid: int = 256, backend: Backend = FLOAT
+    H: float, grid: int = 256, backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> BestResponse:
     """Best response of the family's attacker; ``ratio -> 2`` as ``H -> inf``."""
-    return best_split(lower_bound_ring(H), ATTACKER, grid=grid, backend=backend)
+    return best_split(lower_bound_ring(H), ATTACKER, grid=grid, backend=backend, ctx=ctx)
 
 
 @dataclass(frozen=True)
@@ -61,12 +63,15 @@ class LowerBoundPoint:
         return 2.0 - self.zeta
 
 
-def lower_bound_series(Hs, grid: int = 256, backend: Backend = FLOAT) -> list[LowerBoundPoint]:
+def lower_bound_series(
+    Hs, grid: int = 256, backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
+) -> list[LowerBoundPoint]:
     """``zeta_v(H)`` along the family, with the ``2 - 2/H`` first-order
     prediction attached (EXP-LB)."""
     out = []
     for H in Hs:
-        r = lower_bound_ratio(H, grid=grid, backend=backend)
+        r = lower_bound_ratio(H, grid=grid, backend=backend, ctx=ctx)
         out.append(
             LowerBoundPoint(H=float(H), zeta=r.ratio, w2_star=r.w2, predicted=2.0 - 2.0 / float(H))
         )

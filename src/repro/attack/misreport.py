@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core import bd_allocation, bottleneck_decomposition
+from ..engine import EngineContext
 from ..exceptions import AttackError
 from ..graphs import WeightedGraph
 from ..numeric import Backend, FLOAT, Scalar
@@ -32,24 +33,30 @@ def report_weight(g: WeightedGraph, v: int, x: Scalar, backend: Backend = FLOAT)
     return g.with_weight(v, xs)
 
 
-def utility_of_report(g: WeightedGraph, v: int, x: Scalar, backend: Backend = FLOAT) -> Scalar:
+def utility_of_report(
+    g: WeightedGraph, v: int, x: Scalar, backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
+) -> Scalar:
     """``U_v(x)``: equilibrium utility of ``v`` when it reports ``x``."""
-    return bd_allocation(report_weight(g, v, x, backend), backend=backend).utilities[v]
+    report = report_weight(g, v, x, backend)
+    return bd_allocation(report, backend=backend, ctx=ctx).utilities[v]
 
 
 def utility_curve(
-    g: WeightedGraph, v: int, xs: Sequence[Scalar], backend: Backend = FLOAT
+    g: WeightedGraph, v: int, xs: Sequence[Scalar], backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> list[Scalar]:
     """``U_v(x)`` sampled on a grid (EXP-T10 / Fig. 2 style sweeps)."""
-    return [utility_of_report(g, v, x, backend) for x in xs]
+    return [utility_of_report(g, v, x, backend, ctx) for x in xs]
 
 
 def alpha_curve(
-    g: WeightedGraph, v: int, xs: Sequence[Scalar], backend: Backend = FLOAT
+    g: WeightedGraph, v: int, xs: Sequence[Scalar], backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> list[Scalar]:
     """``alpha_v(x)`` sampled on a grid (Proposition 11 / Fig. 2)."""
     out = []
     for x in xs:
-        d = bottleneck_decomposition(report_weight(g, v, x, backend), backend)
+        d = bottleneck_decomposition(report_weight(g, v, x, backend), backend, ctx)
         out.append(d.alpha_of(v))
     return out

@@ -19,11 +19,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core import Allocation, BottleneckDecomposition, bd_allocation, bottleneck_decomposition
+from ..engine import EngineContext
 from ..exceptions import AttackError
 from ..graphs import WeightedGraph, cut_ring_at, ring_neighbors
 from ..numeric import Backend, FLOAT, Scalar
 
-__all__ = ["SplitOutcome", "split_ring", "attacker_utility", "honest_split"]
+__all__ = [
+    "SplitOutcome",
+    "split_ring",
+    "attacker_utility",
+    "honest_split",
+    "honest_split_from_allocation",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,7 @@ def split_ring(
     w1: Scalar,
     w2: Scalar,
     backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> SplitOutcome:
     """Perform the Sybil split and solve the resulting path.
 
@@ -85,8 +93,8 @@ def split_ring(
     if not ok:
         raise AttackError(f"split weights ({w1!r}, {w2!r}) do not sum to w_v = {wv!r}")
     path, v1, v2 = cut_ring_at(g, v, w1b, w2b)
-    decomp = bottleneck_decomposition(path, backend)
-    alloc = bd_allocation(path, decomp, backend)
+    decomp = bottleneck_decomposition(path, backend, ctx)
+    alloc = bd_allocation(path, decomp, backend, ctx)
     return SplitOutcome(
         path=path, v1=v1, v2=v2, w1=w1b, w2=w2b,
         decomposition=decomp, allocation=alloc,
@@ -94,14 +102,22 @@ def split_ring(
 
 
 def attacker_utility(
-    g: WeightedGraph, v: int, w1: Scalar, w2: Scalar, backend: Backend = FLOAT
+    g: WeightedGraph,
+    v: int,
+    w1: Scalar,
+    w2: Scalar,
+    backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> Scalar:
     """``U'_v(P_v(w1, w2))`` without keeping the full outcome."""
-    return split_ring(g, v, w1, w2, backend).attacker_utility
+    return split_ring(g, v, w1, w2, backend, ctx).attacker_utility
 
 
 def honest_split(
-    g: WeightedGraph, v: int, backend: Backend = FLOAT
+    g: WeightedGraph,
+    v: int,
+    backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> tuple[Scalar, Scalar]:
     """The Lemma 9 honest split ``(w_1^0, w_2^0)``.
 
@@ -110,8 +126,19 @@ def honest_split(
     matching the orientation convention of ``cut_ring_at`` (``v^1`` attaches
     to the smaller-id neighbor).
     """
+    alloc = bd_allocation(g, backend=backend, ctx=ctx)
+    return honest_split_from_allocation(g, v, alloc, backend)
+
+
+def honest_split_from_allocation(
+    g: WeightedGraph, v: int, alloc: Allocation, backend: Backend = FLOAT
+) -> tuple[Scalar, Scalar]:
+    """:func:`honest_split` from an already-computed truthful allocation.
+
+    The best-response search computes the truthful allocation once for the
+    utility denominator and reuses it here instead of solving ``g`` again.
+    """
     u_a, u_b = ring_neighbors(g, v)
-    alloc = bd_allocation(g, backend=backend)
     zero = backend.scalar(0)
     w1 = alloc.x.get((v, u_a), zero)
     w2 = alloc.x.get((v, u_b), zero)

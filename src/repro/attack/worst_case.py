@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import EngineContext
 from ..exceptions import AttackError
 from ..graphs import WeightedGraph, random_ring, ring
 from ..numeric import Backend, FLOAT
@@ -50,6 +51,7 @@ def search_worst_ring(
     low: float = 1e-3,
     high: float = 1e3,
     backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> WorstCaseResult:
     """Search rings of size ``n`` for a high incentive ratio.
 
@@ -65,7 +67,7 @@ def search_worst_ring(
     def evaluate(g: WeightedGraph) -> BestResponse:
         nonlocal evals
         evals += 1
-        inst = incentive_ratio(g, grid=grid, backend=backend)
+        inst = incentive_ratio(g, grid=grid, backend=backend, ctx=ctx)
         return inst.worst_response
 
     for _ in range(max(1, restarts)):

@@ -5,6 +5,11 @@ Usage::
     repro-exp list                     # enumerate experiments
     repro-exp run EXP-T8 [--scale default] [--seed 0] [--json out.json]
     repro-exp all [--scale smoke]      # run the full suite
+
+Engine flags (``run`` / ``all``): ``--solver`` picks the max-flow
+implementation, ``--no-cache`` disables the decomposition cache, and
+``--stats`` prints engine counters (flow calls, cache hits, phase timings)
+after each experiment.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .engine import DEFAULT_CACHE_SIZE, SOLVERS, EngineContext, using_context
 from .exceptions import ReproError
 from .experiments import run_all, run_experiment
 from .io import dump_result
@@ -43,6 +49,20 @@ def _common(p: argparse.ArgumentParser) -> None:
                    help="sweep size (smoke ~ seconds, full ~ minutes)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default=None, help="also dump structured results to this path")
+    p.add_argument("--solver", default=None, choices=sorted(SOLVERS.names()),
+                   help="max-flow solver (default: dinic)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the bottleneck-decomposition cache")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine counters (flow calls, cache hits, timings)")
+
+
+def _engine_context(args: argparse.Namespace) -> EngineContext:
+    """A fresh context per invocation, so ``--stats`` counts only this run."""
+    return EngineContext(
+        solver=args.solver or "dinic",
+        cache_size=0 if args.no_cache else DEFAULT_CACHE_SIZE,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,15 +75,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{exp_id:10s} {mod.TITLE}")
             return 0
         if args.command == "run":
-            out = run_experiment(args.exp_id, seed=args.seed, scale=args.scale)
-            print(out.render())
+            ctx = _engine_context(args)
+            with using_context(ctx):
+                out = run_experiment(args.exp_id, seed=args.seed, scale=args.scale, ctx=ctx)
+            print(out.render(stats=args.stats))
             if args.json:
                 dump_result({"exp_id": out.exp_id, "ok": out.ok, "data": out.data}, args.json)
             return 0 if out.ok else 1
         if args.command == "all":
-            outs = run_all(seed=args.seed, scale=args.scale)
+            ctx = _engine_context(args)
+            with using_context(ctx):
+                outs = run_all(seed=args.seed, scale=args.scale, ctx=ctx)
             for out in outs:
-                print(out.render())
+                print(out.render(stats=args.stats))
                 print()
             failed = [o.exp_id for o in outs if not o.ok]
             print(f"== suite summary: {len(outs) - len(failed)}/{len(outs)} passed"

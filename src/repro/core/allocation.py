@@ -35,8 +35,9 @@ import math
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..engine import EngineContext, resolve_context
 from ..exceptions import AllocationError, InfeasibleFlowError
-from ..flow import FlowNetwork, assert_valid_flow, dinic_max_flow
+from ..flow import FlowNetwork, assert_valid_flow
 from ..graphs import WeightedGraph
 from ..numeric import Backend, FLOAT, Scalar
 from .bottleneck import BottleneckDecomposition, bottleneck_decomposition
@@ -121,68 +122,74 @@ def _pair_network(
 def bd_allocation(
     g: WeightedGraph,
     decomp: BottleneckDecomposition | None = None,
-    backend: Backend = FLOAT,
+    backend: Backend | None = None,
+    ctx: EngineContext | None = None,
 ) -> Allocation:
     """Compute the BD allocation of ``g`` (Definition 5).
 
     ``decomp`` may be passed to reuse an existing decomposition; it must
     have been computed with the same backend.
     """
+    ctx = resolve_context(ctx)
+    backend = ctx.resolve_backend(backend)
     if decomp is None:
-        decomp = bottleneck_decomposition(g, backend)
+        decomp = bottleneck_decomposition(g, backend, ctx)
     x: dict[tuple[int, int], Scalar] = {}
     # Zero flow tolerance even for floats (see bottleneck._maximal_minimizer:
-    # Dinic saturates arcs exactly); the backend tol only enters the final
-    # saturation comparison.
-    zero_tol = 0.0
+    # the solvers saturate arcs exactly); the backend tol only enters the
+    # final saturation comparison.
+    zero_tol = ctx.zero_tol
 
-    for pair in decomp.pairs:
-        alpha = pair.alpha
-        if pair.is_unit:
-            # alpha = 1 terminal pair: bipartite double cover of E[B_k].
-            # Any saturating flow yields the right utilities (U_v = w_v), but
-            # the proportional-response *fixed point* additionally needs
-            # x_uv = x_vu on a unit pair (the response of u to v must echo
-            # v's gift exactly when alpha = 1).  Max flows are not unique --
-            # e.g. a uniform triangle admits a directed circulation -- so we
-            # symmetrize: the average of a saturating flow and its reverse is
-            # again saturating (capacities are symmetric) and is symmetric.
-            members = sorted(pair.B)
-            caps = [backend.scalar(g.weights[v]) for v in members]
-            net, arc_of = _pair_network(g, members, members, caps, backend)
-            _solve_and_check(net, g, members, members, caps, backend, zero_tol, pair.index)
-            two = backend.scalar(2)
+    ctx.counters.allocations += 1
+    with ctx.counters.timed("allocate"):
+        for pair in decomp.pairs:
+            alpha = pair.alpha
+            if pair.is_unit:
+                # alpha = 1 terminal pair: bipartite double cover of E[B_k].
+                # Any saturating flow yields the right utilities (U_v = w_v), but
+                # the proportional-response *fixed point* additionally needs
+                # x_uv = x_vu on a unit pair (the response of u to v must echo
+                # v's gift exactly when alpha = 1).  Max flows are not unique --
+                # e.g. a uniform triangle admits a directed circulation -- so we
+                # symmetrize: the average of a saturating flow and its reverse is
+                # again saturating (capacities are symmetric) and is symmetric.
+                members = sorted(pair.B)
+                caps = [backend.scalar(g.weights[v]) for v in members]
+                net, arc_of = _pair_network(g, members, members, caps, backend)
+                _solve_and_check(net, g, members, members, caps, backend, zero_tol,
+                                 pair.index, ctx=ctx)
+                two = backend.scalar(2)
+                for (u, v), arc in arc_of.items():
+                    f = (net.flow_on(arc) + net.flow_on(arc_of[(v, u)])) / two
+                    if f != 0:
+                        x[(u, v)] = f
+                continue
+
+            B = sorted(pair.B)
+            C = sorted(pair.C)
+            if backend.is_zero(alpha):
+                caps = [math.inf if not backend.is_exact else _big(g, backend) for _ in C]
+            else:
+                caps = [backend.scalar(g.weights[v]) / alpha for v in C]
+            net, arc_of = _pair_network(g, B, C, caps, backend)
+            _solve_and_check(
+                net, g, B, C, caps, backend, zero_tol, pair.index,
+                check_sink=not backend.is_zero(alpha), ctx=ctx,
+            )
             for (u, v), arc in arc_of.items():
-                f = (net.flow_on(arc) + net.flow_on(arc_of[(v, u)])) / two
+                f = net.flow_on(arc)
                 if f != 0:
                     x[(u, v)] = f
-            continue
+                    back = alpha * f
+                    if back != 0:
+                        x[(v, u)] = back
 
-        B = sorted(pair.B)
-        C = sorted(pair.C)
-        if backend.is_zero(alpha):
-            caps = [math.inf if not backend.is_exact else _big(g, backend) for _ in C]
-        else:
-            caps = [backend.scalar(g.weights[v]) / alpha for v in C]
-        net, arc_of = _pair_network(g, B, C, caps, backend)
-        _solve_and_check(
-            net, g, B, C, caps, backend, zero_tol, pair.index,
-            check_sink=not backend.is_zero(alpha),
-        )
-        for (u, v), arc in arc_of.items():
-            f = net.flow_on(arc)
-            if f != 0:
-                x[(u, v)] = f
-                back = alpha * f
-                if back != 0:
-                    x[(v, u)] = back
-
-    utilities = []
-    for v in g.vertices():
-        total = backend.scalar(0)
-        for u in g.neighbors(v):
-            total = total + x.get((u, v), 0)
-        utilities.append(total)
+        utilities = []
+        for v in g.vertices():
+            total = backend.scalar(0)
+            for u in g.neighbors(v):
+                total = total + x.get((u, v), 0)
+            utilities.append(total)
     return Allocation(graph=g, x=x, utilities=tuple(utilities))
 
 
@@ -200,9 +207,16 @@ def _solve_and_check(
     zero_tol: float,
     pair_index: int,
     check_sink: bool = True,
+    ctx: EngineContext | None = None,
 ) -> None:
-    """Max-flow the pair network and assert Definition 5's saturation."""
-    value = dinic_max_flow(net, 0, 1, zero_tol=zero_tol)
+    """Max-flow the pair network and assert Definition 5's saturation.
+
+    Definition 5 reads the realized per-arc flows back out of the residual
+    state, so ``need_arc_flows=True``: a value-only solver (push-relabel)
+    is transparently replaced by Dinic for these solves.
+    """
+    ctx = resolve_context(ctx)
+    value = ctx.max_flow(net, 0, 1, zero_tol=zero_tol, need_arc_flows=True)
     # Verification tolerance: reverse-arc flow accumulation can overshoot the
     # forward capacity by a few ulps when flow arrives over several paths.
     if backend.is_exact:

@@ -38,8 +38,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..engine import EngineContext, decomposition_key, resolve_context
 from ..exceptions import DecompositionError
-from ..flow import FlowNetwork, dinic_max_flow, max_source_side
+from ..flow import FlowNetwork, max_source_side
 from ..graphs import WeightedGraph, check_no_isolated
 from ..numeric import Backend, FLOAT, Scalar
 
@@ -48,6 +49,7 @@ __all__ = [
     "BottleneckDecomposition",
     "maximal_bottleneck",
     "bottleneck_decomposition",
+    "parametric_network",
 ]
 
 _MAX_DINKELBACH_ITERS = 10_000
@@ -143,22 +145,23 @@ class BottleneckDecomposition:
 # parametric machinery
 # ---------------------------------------------------------------------------
 
-def _maximal_minimizer(
+def parametric_network(
     g: WeightedGraph,
     active: Sequence[int],
     lam: Scalar,
     backend: Backend,
-) -> set[int]:
-    """Maximal minimizer of ``g_lambda`` inside the induced graph on ``active``.
+) -> tuple[FlowNetwork, list[int]]:
+    """Auxiliary bipartite network for ``min_S g_lambda(S)`` on ``active``.
 
-    Returns original vertex ids.
+    Returns the network plus the active vertex list in left-copy order
+    (left copy of ``verts[i]`` is node ``2 + i``, right copy ``2 + nh + i``).
+    Exposed so the cross-solver property tests can exercise exactly the
+    networks the decomposition solves.
     """
     verts = list(active)
     pos = {v: i for i, v in enumerate(verts)}
     nh = len(verts)
     s, t = 0, 1
-    left = lambda i: 2 + i
-    right = lambda i: 2 + nh + i
 
     w = [backend.scalar(g.weights[v]) for v in verts]
     total_w = backend.total(w)
@@ -170,27 +173,47 @@ def _maximal_minimizer(
     net = FlowNetwork(2 + 2 * nh)
     active_set = set(verts)
     for i, v in enumerate(verts):
-        net.add_edge(s, left(i), lam * w[i])
-        net.add_edge(right(i), t, w[i])
+        net.add_edge(s, 2 + i, lam * w[i])
+        net.add_edge(2 + nh + i, t, w[i])
         for u in g.neighbors(v):
             if u in active_set:
-                net.add_edge(left(i), right(pos[u]), inf_cap)
+                net.add_edge(2 + i, 2 + nh + pos[u], inf_cap)
+    return net, verts
 
-    # Flow-level tolerance is exactly zero even for floats: Dinic's push
-    # zeroes the bottleneck arc *exactly* (c - c == 0.0 in IEEE), each
+
+def _maximal_minimizer(
+    g: WeightedGraph,
+    active: Sequence[int],
+    lam: Scalar,
+    backend: Backend,
+    ctx: EngineContext,
+) -> set[int]:
+    """Maximal minimizer of ``g_lambda`` inside the induced graph on ``active``.
+
+    Returns original vertex ids.
+    """
+    net, verts = parametric_network(g, active, lam, backend)
+    nh = len(verts)
+    s, t = 0, 1
+
+    # Flow-level tolerance is exactly zero even for floats: the solvers'
+    # pushes zero the bottleneck arc *exactly* (c - c == 0.0 in IEEE), each
     # augmentation saturates an arc, and phase count is capacity-independent,
     # so termination does not need a tolerance -- while any positive
     # tolerance would swallow genuinely tiny capacities (instances here span
-    # 12+ orders of magnitude) and corrupt the extracted cut.
-    dinic_max_flow(net, s, t, zero_tol=0.0)
-    side = max_source_side(net, t, zero_tol=0.0)
-    return {verts[i] for i in range(nh) if left(i) in side}
+    # 12+ orders of magnitude) and corrupt the extracted cut.  Any registered
+    # solver works here: only the min *cut* is read back, which is valid even
+    # for push-relabel's maximum-preflow residuals (see engine.registry).
+    ctx.max_flow(net, s, t, zero_tol=ctx.zero_tol)
+    side = max_source_side(net, t, zero_tol=ctx.zero_tol)
+    return {verts[i] for i in range(nh) if 2 + i in side}
 
 
 def maximal_bottleneck(
     g: WeightedGraph,
     active: Sequence[int] | None = None,
     backend: Backend = FLOAT,
+    ctx: EngineContext | None = None,
 ) -> tuple[frozenset[int], Scalar]:
     """Maximal bottleneck of the induced graph on ``active`` (Definition 2).
 
@@ -199,6 +222,7 @@ def maximal_bottleneck(
     guarantee no isolated positive-weight vertices; see module notes in
     ``bottleneck_decomposition``).
     """
+    ctx = resolve_context(ctx)
     if active is None:
         active = list(g.vertices())
     active = list(active)
@@ -222,7 +246,8 @@ def maximal_bottleneck(
     # bottleneck (its allocation flow would not saturate).
     prev: frozenset[int] | None = None
     for _ in range(_MAX_DINKELBACH_ITERS):
-        S = _maximal_minimizer(g, active, lam, backend)
+        ctx.counters.dinkelbach_iterations += 1
+        S = _maximal_minimizer(g, active, lam, backend, ctx)
         if not S:
             # Float-only corner: the last ratio was rounded a hair below the
             # true minimum, so at this lambda no nonempty set reaches
@@ -249,13 +274,17 @@ def maximal_bottleneck(
 
 
 def bottleneck_decomposition(
-    g: WeightedGraph, backend: Backend = FLOAT
+    g: WeightedGraph,
+    backend: Backend | None = None,
+    ctx: EngineContext | None = None,
 ) -> BottleneckDecomposition:
     """Full bottleneck decomposition of ``g`` (Definition 2).
 
     Iteratively extracts the maximal bottleneck ``B_i`` of ``G_i`` and its
     in-``G_i`` neighborhood ``C_i``, removing both, until no vertices
-    remain.
+    remain.  Results are memoized in ``ctx``'s decomposition cache: the
+    decomposition is a pure function of ``(structure, weights, backend)``,
+    and the Sybil sweeps re-request the same instance many times.
 
     Zero-weight corner cases: a zero-weight vertex whose remaining
     neighbors all sit in the current ``C_i`` is absorbed into ``B_i`` for
@@ -264,31 +293,44 @@ def bottleneck_decomposition(
     asserts.  A degenerate all-zero component is emitted as a terminal pair
     with ``alpha`` equal to the last parametric value.
     """
-    check_no_isolated(g)
-    if g.total_weight(backend) == 0:
-        raise DecompositionError("graph has zero total weight; sharing is degenerate")
+    ctx = resolve_context(ctx)
+    backend = ctx.resolve_backend(backend)
+    key = decomposition_key(g, backend)
+    cached = ctx.cache.get(key)
+    if cached is not None:
+        ctx.counters.cache_hits += 1
+        return cached
+    ctx.counters.cache_misses += 1
 
-    pairs: list[BottleneckPair] = []
-    active = sorted(g.vertices())
-    index = 1
-    while active:
-        w_active = g.weight_of(active, backend)
-        if w_active == 0:
-            # leftover zero-weight vertices: terminal degenerate pair; they
-            # give and receive nothing.  Keep alpha of the previous pair so
-            # the monotone alphas invariant (Prop 3-(1)) is not violated by
-            # a synthetic value.
-            B = frozenset(active)
-            alpha = pairs[-1].alpha if pairs else backend.scalar(1)
-            pairs.append(BottleneckPair(index, B, B, alpha))
-            break
-        B, alpha = maximal_bottleneck(g, active, backend)
-        active_set = set(active)
-        C = frozenset(g.neighborhood(B) & active_set)
-        members = B | C
-        if not members:
-            raise DecompositionError("empty pair extracted; decomposition stuck")
-        pairs.append(BottleneckPair(index, frozenset(B), C, alpha))
-        active = sorted(active_set - members)
-        index += 1
-    return BottleneckDecomposition(g, pairs, backend)
+    with ctx.counters.timed("decompose"):
+        check_no_isolated(g)
+        if g.total_weight(backend) == 0:
+            raise DecompositionError("graph has zero total weight; sharing is degenerate")
+
+        pairs: list[BottleneckPair] = []
+        active = sorted(g.vertices())
+        index = 1
+        while active:
+            w_active = g.weight_of(active, backend)
+            if w_active == 0:
+                # leftover zero-weight vertices: terminal degenerate pair; they
+                # give and receive nothing.  Keep alpha of the previous pair so
+                # the monotone alphas invariant (Prop 3-(1)) is not violated by
+                # a synthetic value.
+                B = frozenset(active)
+                alpha = pairs[-1].alpha if pairs else backend.scalar(1)
+                pairs.append(BottleneckPair(index, B, B, alpha))
+                break
+            B, alpha = maximal_bottleneck(g, active, backend, ctx)
+            active_set = set(active)
+            C = frozenset(g.neighborhood(B) & active_set)
+            members = B | C
+            if not members:
+                raise DecompositionError("empty pair extracted; decomposition stuck")
+            pairs.append(BottleneckPair(index, frozenset(B), C, alpha))
+            active = sorted(active_set - members)
+            index += 1
+        decomp = BottleneckDecomposition(g, pairs, backend)
+    ctx.counters.decompositions += 1
+    ctx.cache.put(key, decomp)
+    return decomp

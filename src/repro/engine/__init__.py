@@ -1,0 +1,36 @@
+"""Engine layer: solver registry, decomposition cache, counters, context.
+
+This package is a *leaf* of the library's import graph (it depends only on
+``flow``, ``graphs``, ``numeric``, and ``exceptions``) so that ``core``,
+``attack``, ``analysis``, ``experiments``, and the CLI can all thread one
+:class:`EngineContext` without cycles.
+"""
+
+from .cache import DecompositionCache, decomposition_key
+from .context import (
+    DEFAULT_CACHE_SIZE,
+    EngineContext,
+    EngineSpec,
+    default_context,
+    resolve_context,
+    using_context,
+)
+from .counters import Counters
+from .registry import DEFAULT_SOLVER, SOLVERS, MaxFlowSolver, Solver, SolverRegistry
+
+__all__ = [
+    "Counters",
+    "DecompositionCache",
+    "decomposition_key",
+    "DEFAULT_CACHE_SIZE",
+    "EngineContext",
+    "EngineSpec",
+    "default_context",
+    "resolve_context",
+    "using_context",
+    "DEFAULT_SOLVER",
+    "SOLVERS",
+    "MaxFlowSolver",
+    "Solver",
+    "SolverRegistry",
+]

@@ -1,0 +1,102 @@
+"""LRU cache for bottleneck decompositions.
+
+The Sybil sweeps re-solve the *same* instance many times: every
+``best_split`` call decomposes the unsplit ring for the truthful utility and
+the honest split, ``incentive_ratio`` repeats that for each of the ``n``
+agents, and the worst-case coordinate ascent revisits unimproved weight
+vectors.  A decomposition is a pure function of ``(graph structure, weight
+vector, backend)``, so those repeats are cache hits.
+
+Keys are canonical: :class:`~repro.graphs.WeightedGraph` stores edges as a
+sorted tuple and weights/labels as tuples, so the key tuple
+
+    (n, edges, weights, labels, backend kind)
+
+is a complete adjacency+weight signature.  Labels are included so a cached
+decomposition's ``.graph`` never swaps the requester's labelling (the split
+bookkeeping names fictitious vertices through labels).  The backend kind
+``(name, tol)`` separates exact from float results -- a ``Fraction`` alpha
+must never be served where a tolerance-aware float was requested.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, TYPE_CHECKING
+
+from ..graphs import WeightedGraph
+from ..numeric import Backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.bottleneck import BottleneckDecomposition
+
+__all__ = ["DecompositionCache", "decomposition_key"]
+
+
+def decomposition_key(g: WeightedGraph, backend: Backend) -> Hashable:
+    """Canonical hashable signature of one decomposition request."""
+    return (g.n, g.edges, g.weights, g.labels, backend.name, backend.tol)
+
+
+class DecompositionCache:
+    """Bounded LRU mapping decomposition keys to computed decompositions.
+
+    ``maxsize <= 0`` disables the cache entirely (every ``get`` misses and
+    ``put`` is a no-op), which is how ``--no-cache`` and the uncached
+    baselines are implemented without branching at call sites.
+    """
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[Hashable, "BottleneckDecomposition"] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional["BottleneckDecomposition"]:
+        if not self.enabled:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: "BottleneckDecomposition") -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecompositionCache(size={len(self)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

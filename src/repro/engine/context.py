@@ -1,0 +1,214 @@
+"""The engine context: one explicit object for cross-cutting configuration.
+
+Solver choice, numeric backend, flow zero-tolerance, worker count, the
+decomposition cache, and the work counters used to travel through the
+library ad hoc (or not at all -- ``dinic_max_flow`` was hard-coded).
+:class:`EngineContext` bundles them; every layer from ``core`` up through
+the CLI takes an optional ``ctx`` and falls back to a shared module-level
+default, so existing call sites keep today's behavior bit-for-bit while a
+configured context turns solver selection and caching into one-line knobs::
+
+    ctx = EngineContext(solver="push_relabel")
+    inst = incentive_ratio(g, ctx=ctx)
+    print(ctx.stats())
+
+Process pools cannot usefully share a mutable context, so a frozen
+:class:`EngineSpec` carries the *configuration* across pickling boundaries
+and each worker rebuilds (and memoizes) its own context from it -- the same
+config-threading discipline as sysml_fair_verif's ``ModelConfig``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..exceptions import EngineError
+from ..flow.network import FlowNetwork
+from ..numeric import Backend, FLOAT
+from .cache import DecompositionCache
+from .counters import Counters
+from .registry import DEFAULT_SOLVER, SOLVERS, Solver, SolverRegistry
+
+__all__ = [
+    "EngineSpec",
+    "EngineContext",
+    "default_context",
+    "resolve_context",
+    "using_context",
+]
+
+#: Default LRU capacity; a sweep instance produces tens of distinct
+#: decompositions, so 1024 spans many instances without unbounded growth.
+DEFAULT_CACHE_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Frozen, picklable description of an :class:`EngineContext`.
+
+    Carries configuration only -- no cache contents, no counters -- so it is
+    tiny on the wire and hashable (worker processes memoize one rebuilt
+    context per distinct spec).
+    """
+
+    solver: str = DEFAULT_SOLVER
+    backend: Backend = FLOAT
+    zero_tol: float = 0.0
+    cache_size: int = DEFAULT_CACHE_SIZE
+    workers: int = 0
+
+    def build(self, registry: SolverRegistry | None = None) -> "EngineContext":
+        return EngineContext(
+            solver=self.solver,
+            backend=self.backend,
+            zero_tol=self.zero_tol,
+            cache_size=self.cache_size,
+            workers=self.workers,
+            registry=registry if registry is not None else SOLVERS,
+        )
+
+    def with_cache(self, cache_size: int) -> "EngineSpec":
+        return replace(self, cache_size=cache_size)
+
+
+@dataclass
+class EngineContext:
+    """Shared engine state threaded through flow -> core -> attack -> CLI.
+
+    Parameters
+    ----------
+    solver:
+        Registry name of the max-flow solver (``"dinic"``,
+        ``"edmonds_karp"``, ``"push_relabel"``).
+    backend:
+        Default numeric backend for call sites that do not pass one
+        explicitly.
+    zero_tol:
+        Residual zero-tolerance handed to the flow solvers.  The default 0.0
+        is load-bearing (see ``core.bottleneck``): Dinic saturates arcs
+        exactly even in floats, and a positive tolerance would swallow
+        genuinely tiny capacities.
+    cache_size:
+        LRU capacity of the decomposition cache; ``0`` disables caching.
+    workers:
+        Default process count for parallel sweeps (``0`` = serial).
+    """
+
+    solver: str = DEFAULT_SOLVER
+    backend: Backend = FLOAT
+    zero_tol: float = 0.0
+    cache_size: int = DEFAULT_CACHE_SIZE
+    workers: int = 0
+    registry: SolverRegistry = field(default_factory=lambda: SOLVERS, repr=False)
+    cache: DecompositionCache = field(default=None, repr=False)  # type: ignore[assignment]
+    counters: Counters = field(default_factory=Counters, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise EngineError(f"workers must be >= 0, got {self.workers}")
+        self.registry.get(self.solver)  # fail fast on unknown names
+        if self.cache is None:
+            self.cache = DecompositionCache(self.cache_size)
+        else:
+            self.cache_size = self.cache.maxsize
+
+    # -- solver dispatch -------------------------------------------------
+    def solver_entry(self, need_arc_flows: bool = False) -> Solver:
+        """The configured solver, or the Dinic fallback when the caller
+        must read per-arc flows and the configured solver is value-only."""
+        entry = self.registry.get(self.solver)
+        if need_arc_flows and not entry.supports_arc_flows:
+            self.counters.arc_flow_fallbacks += 1
+            return self.registry.get(DEFAULT_SOLVER)
+        return entry
+
+    def max_flow(
+        self,
+        net: FlowNetwork,
+        s: int,
+        t: int,
+        zero_tol: float | None = None,
+        need_arc_flows: bool = False,
+    ):
+        """Solve ``net`` with the configured solver; returns the flow value.
+
+        ``need_arc_flows=True`` guarantees the residual state left in
+        ``net`` is a genuine max *flow* (conservation at every node), which
+        Definition 5 needs to read off per-arc amounts.
+        """
+        entry = self.solver_entry(need_arc_flows=need_arc_flows)
+        self.counters.flow_calls += 1
+        tol = self.zero_tol if zero_tol is None else zero_tol
+        return entry.fn(net, s, t, tol)
+
+    # -- backend / worker resolution -------------------------------------
+    def resolve_backend(self, backend: Optional[Backend]) -> Backend:
+        return self.backend if backend is None else backend
+
+    def resolve_workers(self, processes: Optional[int]) -> int:
+        return self.workers if processes is None else processes
+
+    # -- spec / pickling --------------------------------------------------
+    def spec(self) -> EngineSpec:
+        """Configuration-only snapshot (see :class:`EngineSpec`)."""
+        return EngineSpec(
+            solver=self.solver,
+            backend=self.backend,
+            zero_tol=self.zero_tol,
+            cache_size=self.cache.maxsize,
+            workers=self.workers,
+        )
+
+    # -- instrumentation --------------------------------------------------
+    def stats(self) -> dict:
+        """Counters + cache statistics + the configuration that produced
+        them, as one plain serializable dict."""
+        out = self.counters.snapshot()
+        out["cache"] = self.cache.stats()
+        out["solver"] = self.solver
+        out["backend"] = self.backend.name
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero the counters and cache hit/miss tallies (entries are kept)."""
+        self.counters.reset()
+        self.cache.hits = 0
+        self.cache.misses = 0
+        self.cache.evictions = 0
+
+
+_DEFAULT_CONTEXT: EngineContext | None = None
+
+
+def default_context() -> EngineContext:
+    """The process-wide default context (created lazily, shared by every
+    call site that receives ``ctx=None``)."""
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = EngineContext()
+    return _DEFAULT_CONTEXT
+
+
+def resolve_context(ctx: Optional[EngineContext]) -> EngineContext:
+    """``ctx`` itself, or the shared default when ``None``."""
+    return ctx if ctx is not None else default_context()
+
+
+@contextmanager
+def using_context(ctx: EngineContext):
+    """Temporarily install ``ctx`` as the process-wide default.
+
+    Everything that receives ``ctx=None`` inside the ``with`` body --
+    including experiment modules that have not grown a ``ctx`` parameter --
+    resolves to ``ctx``, so the CLI's ``--solver``/``--no-cache`` flags
+    reach every solve of a run.  The previous default is restored on exit.
+    """
+    global _DEFAULT_CONTEXT
+    prev = _DEFAULT_CONTEXT
+    _DEFAULT_CONTEXT = ctx
+    try:
+        yield ctx
+    finally:
+        _DEFAULT_CONTEXT = prev

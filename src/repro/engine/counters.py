@@ -1,0 +1,83 @@
+"""Engine instrumentation: cheap counters plus per-phase wall time.
+
+Every :class:`~repro.engine.EngineContext` owns one :class:`Counters`
+instance; the refactored core/attack layers increment it as they work, so a
+sweep can report exactly how many max-flow solves and Dinkelbach steps it
+cost and how much of that the decomposition cache absorbed.  Increments are
+plain attribute additions -- no locks, no allocation -- so the hot paths pay
+essentially nothing for the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Counters"]
+
+
+@dataclass
+class Counters:
+    """Work counters accumulated by one engine context.
+
+    ``flow_calls`` counts max-flow solves routed through the context;
+    ``arc_flow_fallbacks`` the subset where a value-only solver (push-relabel)
+    was swapped for Dinic because the caller needed per-arc flows.
+    ``phase_seconds`` maps phase labels (``"decompose"``, ``"allocate"``,
+    ``"best_response"``) to cumulative wall time.
+    """
+
+    flow_calls: int = 0
+    dinkelbach_iterations: int = 0
+    decompositions: int = 0
+    allocations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    arc_flow_fallbacks: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def timed(self, phase: str):
+        """Accumulate the wall time of the ``with`` body under ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + elapsed
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (stable keys; safe to serialize or diff)."""
+        return {
+            "flow_calls": self.flow_calls,
+            "dinkelbach_iterations": self.dinkelbach_iterations,
+            "decompositions": self.decompositions,
+            "allocations": self.allocations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "arc_flow_fallbacks": self.arc_flow_fallbacks,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def reset(self) -> None:
+        self.flow_calls = 0
+        self.dinkelbach_iterations = 0
+        self.decompositions = 0
+        self.allocations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.arc_flow_fallbacks = 0
+        self.phase_seconds = {}
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one (per-worker aggregation)."""
+        self.flow_calls += other.flow_calls
+        self.dinkelbach_iterations += other.dinkelbach_iterations
+        self.decompositions += other.decompositions
+        self.allocations += other.allocations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.arc_flow_fallbacks += other.arc_flow_fallbacks
+        for phase, secs in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + secs

@@ -1,0 +1,102 @@
+"""Named max-flow solver registry.
+
+The library ships three independent max-flow implementations
+(:mod:`repro.flow`).  Historically every call site hard-coded
+``dinic_max_flow``; the registry turns the choice into data so an
+:class:`~repro.engine.EngineContext` can select a solver by name and
+experiments can sweep solvers with a one-line knob.
+
+All registered callables share the signature
+``solver(net, s, t, zero_tol) -> value`` and leave the network in a
+residual state from which min cuts can be extracted (for a maximum
+*preflow* -- push-relabel without a drain phase -- the complement of the
+residual-coreachable set of ``t`` is still the maximal min cut: every
+crossing arc of any min cut is saturated and carries no return flow, so the
+classic lattice argument goes through unchanged).  Per-arc *flows* are a
+stronger demand: push-relabel may strand excess at interior nodes, so its
+entry is marked ``supports_arc_flows=False`` and the context falls back to
+Dinic where Definition 5 needs the realized flow on each arc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from ..exceptions import EngineError
+from ..flow import dinic_max_flow, edmonds_karp_max_flow, push_relabel_max_flow
+from ..flow.network import FlowNetwork
+
+__all__ = ["MaxFlowSolver", "Solver", "SolverRegistry", "SOLVERS", "DEFAULT_SOLVER"]
+
+#: Shared solver signature: ``(net, s, t, zero_tol) -> max-flow value``.
+MaxFlowSolver = Callable[[FlowNetwork, int, int, float], object]
+
+#: Name of the solver used when nothing else is configured.
+DEFAULT_SOLVER = "dinic"
+
+
+@dataclass(frozen=True)
+class Solver:
+    """One registry entry: the callable plus its capability flags."""
+
+    name: str
+    fn: MaxFlowSolver
+    supports_arc_flows: bool = True
+
+    def __call__(self, net: FlowNetwork, s: int, t: int, zero_tol: float = 0.0):
+        return self.fn(net, s, t, zero_tol)
+
+
+class SolverRegistry(Mapping[str, Solver]):
+    """Name -> :class:`Solver` mapping with helpful unknown-name errors."""
+
+    def __init__(self, entries: Mapping[str, Solver] | None = None) -> None:
+        self._entries: dict[str, Solver] = dict(entries or {})
+
+    def register(
+        self, name: str, fn: MaxFlowSolver, supports_arc_flows: bool = True
+    ) -> Solver:
+        """Register (or replace) a solver under ``name``."""
+        if not name:
+            raise EngineError("solver name must be a non-empty string")
+        entry = Solver(name=name, fn=fn, supports_arc_flows=supports_arc_flows)
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> Solver:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise EngineError(
+                f"unknown solver {name!r}; registered: {', '.join(sorted(self._entries))}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, name: str) -> Solver:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SolverRegistry({self.names()})"
+
+
+def _builtin_registry() -> SolverRegistry:
+    reg = SolverRegistry()
+    reg.register("dinic", dinic_max_flow)
+    reg.register("edmonds_karp", edmonds_karp_max_flow)
+    # value + min-cut oracle only: may leave stranded excess (see module docs)
+    reg.register("push_relabel", push_relabel_max_flow, supports_arc_flows=False)
+    return reg
+
+
+#: The shared default registry holding the three built-in solvers.
+SOLVERS = _builtin_registry()

@@ -18,6 +18,7 @@ __all__ = [
     "AllocationError",
     "ConvergenceError",
     "AttackError",
+    "EngineError",
     "ExperimentError",
 ]
 
@@ -61,6 +62,10 @@ class ConvergenceError(ReproError):
 
 class AttackError(ReproError):
     """A Sybil attack / best-response computation was ill-posed."""
+
+
+class EngineError(ReproError):
+    """Engine misconfiguration (unknown solver name, bad context spec)."""
 
 
 class ExperimentError(ReproError):

@@ -10,13 +10,14 @@ check verdicts so both the CLI and the benchmarks can consume them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..engine import EngineContext, resolve_context
 from ..exceptions import ExperimentError
 from ..io.tables import format_table
 from ..theory import CheckResult
 
-__all__ = ["Table", "ExperimentOutput", "scale_factor"]
+__all__ = ["Table", "ExperimentOutput", "scale_factor", "experiment_context", "format_engine_stats"]
 
 _SCALES = ("smoke", "default", "full")
 
@@ -26,6 +27,34 @@ def scale_factor(scale: str) -> int:
     if scale not in _SCALES:
         raise ExperimentError(f"unknown scale {scale!r}; pick one of {_SCALES}")
     return {"smoke": 1, "default": 4, "full": 16}[scale]
+
+
+def experiment_context(ctx: Optional[EngineContext]) -> EngineContext:
+    """Resolve the engine context an experiment should run under.
+
+    ``None`` means the shared default context: identical configuration
+    (Dinic, caching on, zero tolerance 0.0), so experiments behave
+    bit-for-bit the same whether or not a context is supplied.
+    """
+    return resolve_context(ctx)
+
+
+def format_engine_stats(stats: dict) -> str:
+    """One-line human-readable rendering of ``EngineContext.stats()``."""
+    cache = stats.get("cache", {})
+    phases = ", ".join(
+        f"{name}={secs:.3f}s" for name, secs in sorted(stats.get("phase_seconds", {}).items())
+    )
+    return (
+        f"engine: solver={stats.get('solver')} backend={stats.get('backend')} | "
+        f"flow calls={stats.get('flow_calls')} "
+        f"dinkelbach iters={stats.get('dinkelbach_iterations')} "
+        f"decompositions={stats.get('decompositions')} "
+        f"allocations={stats.get('allocations')} | "
+        f"cache hits={cache.get('hits')} misses={cache.get('misses')} "
+        f"size={cache.get('size')}/{cache.get('maxsize')}"
+        + (f" | {phases}" if phases else "")
+    )
 
 
 @dataclass(frozen=True)
@@ -49,15 +78,18 @@ class ExperimentOutput:
     tables: list[Table] = field(default_factory=list)
     checks: list[CheckResult] = field(default_factory=list)
     data: dict = field(default_factory=dict)
+    engine_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
         return all(c.ok for c in self.checks)
 
-    def render(self) -> str:
+    def render(self, stats: bool = False) -> str:
         parts = [f"== {self.exp_id}: {self.title} =="]
         for t in self.tables:
             parts.append(t.render())
         for c in self.checks:
             parts.append(f"[{'PASS' if c.ok else 'FAIL'}] {c.name}: {c.details}")
+        if stats and self.engine_stats is not None:
+            parts.append(format_engine_stats(self.engine_stats))
         return "\n\n".join(parts)

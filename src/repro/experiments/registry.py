@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable
+import inspect
+from typing import Callable, Optional
 
+from ..engine import EngineContext
 from ..exceptions import ExperimentError
 from .base import ExperimentOutput
 from . import (
@@ -49,8 +51,20 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(exp_id: str, seed: int = 0, scale: str = "default") -> ExperimentOutput:
-    """Run one experiment by id (e.g. ``"EXP-T8"``)."""
+def run_experiment(
+    exp_id: str,
+    seed: int = 0,
+    scale: str = "default",
+    ctx: Optional[EngineContext] = None,
+) -> ExperimentOutput:
+    """Run one experiment by id (e.g. ``"EXP-T8"``).
+
+    ``ctx`` configures the engine (solver, cache, counters).  The runner
+    forwards it only to ``run()`` signatures that accept a ``ctx``
+    parameter; experiments that have not grown one simply run with their
+    own defaults.  Whenever a context was supplied, its stats snapshot is
+    attached to the output so the CLI can render ``--stats``.
+    """
     from .base import scale_factor
 
     scale_factor(scale)  # validate up front, even for experiments that ignore it
@@ -59,9 +73,27 @@ def run_experiment(exp_id: str, seed: int = 0, scale: str = "default") -> Experi
         raise ExperimentError(
             f"unknown experiment {exp_id!r}; known: {', '.join(sorted(EXPERIMENTS))}"
         )
-    return mod.run(seed=seed, scale=scale)
+    out = _call_run(mod.run, seed=seed, scale=scale, ctx=ctx)
+    if ctx is not None:
+        out.engine_stats = ctx.stats()
+    return out
 
 
-def run_all(seed: int = 0, scale: str = "default") -> list[ExperimentOutput]:
+def run_all(
+    seed: int = 0, scale: str = "default", ctx: Optional[EngineContext] = None
+) -> list[ExperimentOutput]:
     """Run the whole suite in registry order."""
-    return [mod.run(seed=seed, scale=scale) for mod in EXPERIMENTS.values()]
+    outs = []
+    for mod in EXPERIMENTS.values():
+        out = _call_run(mod.run, seed=seed, scale=scale, ctx=ctx)
+        if ctx is not None:
+            out.engine_stats = ctx.stats()
+        outs.append(out)
+    return outs
+
+
+def _call_run(run: Callable[..., ExperimentOutput], seed: int, scale: str,
+              ctx: Optional[EngineContext]) -> ExperimentOutput:
+    if ctx is not None and "ctx" in inspect.signature(run).parameters:
+        return run(seed=seed, scale=scale, ctx=ctx)
+    return run(seed=seed, scale=scale)

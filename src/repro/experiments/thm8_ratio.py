@@ -14,17 +14,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..attack import incentive_ratio, lower_bound_ratio, search_worst_ring
+from ..engine import EngineContext
 from ..graphs import random_ring
 from ..numeric import FLOAT
 from ..theory import CheckResult
 from ..analysis import summarize
-from .base import ExperimentOutput, Table, scale_factor
+from .base import ExperimentOutput, Table, experiment_context, scale_factor
 
 EXP_ID = "EXP-T8"
 TITLE = "Theorem 8: max Sybil incentive ratio over ring families (bound = 2)"
 
 
-def run(seed: int = 0, scale: str = "default") -> ExperimentOutput:
+def run(seed: int = 0, scale: str = "default", ctx: EngineContext | None = None) -> ExperimentOutput:
+    ctx = experiment_context(ctx)
     k = scale_factor(scale)
     rng = np.random.default_rng(seed)
     sizes = [4, 6, 8] if scale == "smoke" else [4, 5, 6, 8, 12, 16]
@@ -39,7 +41,7 @@ def run(seed: int = 0, scale: str = "default") -> ExperimentOutput:
             zetas = []
             for _ in range(per_cell):
                 g = random_ring(n, rng, dist, lo, hi)
-                inst = incentive_ratio(g, grid=24 if scale == "smoke" else 48)
+                inst = incentive_ratio(g, grid=24 if scale == "smoke" else 48, ctx=ctx)
                 zetas.append(inst.zeta)
             s = summarize(zetas)
             overall_max = max(overall_max, s.maximum)
@@ -48,11 +50,11 @@ def run(seed: int = 0, scale: str = "default") -> ExperimentOutput:
 
     # adversarial rows: search + the lower-bound family
     search = search_worst_ring(5, rng, restarts=1 + k // 4, sweeps=2 + k // 2,
-                               grid=24 if scale == "smoke" else 48)
+                               grid=24 if scale == "smoke" else 48, ctx=ctx)
     overall_max = max(overall_max, search.zeta)
     rows.append([5, "hill-climb search", search.evaluations, search.zeta, search.zeta,
                  "<= 2" if search.zeta <= 2 + 1e-6 else "VIOLATION"])
-    lb = lower_bound_ratio(1e4, grid=128)
+    lb = lower_bound_ratio(1e4, grid=128, ctx=ctx)
     overall_max = max(overall_max, lb.ratio)
     rows.append([5, "lower-bound family H=1e4", 1, lb.ratio, lb.ratio,
                  "<= 2" if lb.ratio <= 2 + 1e-6 else "VIOLATION"])

@@ -8,7 +8,16 @@ three is therefore a strong implementation check.
 The returned *value* is the max flow.  The residual state left in ``net`` is
 a maximum preflow whose excess has (in normal runs) drained back to the
 source, but callers that need per-arc flows should use Dinic or
-Edmonds-Karp; this solver is a value oracle.
+Edmonds-Karp; this solver is a value oracle (plus a min-cut oracle: the
+residual coreachable set of ``t`` is cut-exact, see below).
+
+Unlike the augmenting-path solvers -- which saturate each bottleneck arc
+with a single exact ``c - c`` subtraction -- push-relabel accumulates an
+arc's flow over many pushes, so a saturated arc can be left with a few ulps
+of residual.  At the library's load-bearing ``zero_tol=0.0`` such dust reads
+as a traversable arc and corrupts min-cut extraction, so a final cleanup
+pass snaps float residuals within a hair of saturation back to exactly
+zero (scaled per arc; ``Fraction`` capacities are never touched).
 
 ``math.inf`` capacities are supported (excess bookkeeping only ever adds
 finite amounts because source arcs are finite in every network this library
@@ -108,6 +117,8 @@ def push_relabel_max_flow(net: FlowNetwork, s: int, t: int, zero_tol: float = 0.
                 it[u] += 1
         # nodes lifted above 2n hold trapped excess that returns to s; done.
 
+    _snap_saturated(net)
+
     # max flow value = excess accumulated at t
     value = excess[t]
     if value == 0:
@@ -117,3 +128,30 @@ def push_relabel_max_flow(net: FlowNetwork, s: int, t: int, zero_tol: float = 0.
             except TypeError:  # pragma: no cover
                 return 0.0
     return value
+
+
+#: Residuals below this multiple of the arc's own capacity are rounding
+#: noise from accumulated pushes, not genuine slack (a ulp is ~2.2e-16; a
+#: few dozen pushes per arc keeps the error well under 64 ulps).
+_SNAP_ULPS = 64.0 * 2.0 ** -52
+
+
+def _snap_saturated(net: FlowNetwork) -> None:
+    """Zero float residuals that are saturation up to accumulated rounding.
+
+    Works per arc pair and conserves the pair total, so ``flow_on`` stays
+    consistent.  Infinite and ``Fraction`` capacities are left alone: inf
+    arcs have no meaningful scale and exact arithmetic has no dust.
+    """
+    cap = net.cap
+    orig = net.orig_cap
+    for a in range(0, net.num_arcs, 2):
+        oc = orig[a]
+        if not isinstance(oc, float) or math.isinf(oc) or oc <= 0.0:
+            continue
+        tiny = _SNAP_ULPS * oc
+        for b in (a, a ^ 1):
+            c = cap[b]
+            if isinstance(c, float) and 0.0 < c <= tiny:
+                cap[b ^ 1] = cap[b ^ 1] + c
+                cap[b] = 0.0

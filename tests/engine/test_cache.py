@@ -1,0 +1,49 @@
+"""DecompositionCache unit behavior: LRU order, disabling, key contents."""
+
+from repro.engine import DecompositionCache, decomposition_key
+from repro.graphs import ring
+from repro.numeric import EXACT, FLOAT
+
+
+def test_lru_eviction_order():
+    c = DecompositionCache(maxsize=2)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert c.get("a") == 1  # refresh "a" -> "b" is now least recent
+    c.put("c", 3)
+    assert c.get("b") is None
+    assert c.get("a") == 1
+    assert c.get("c") == 3
+    assert c.evictions == 1
+    assert len(c) == 2
+
+
+def test_disabled_cache_never_stores():
+    c = DecompositionCache(maxsize=0)
+    assert not c.enabled
+    c.put("k", 42)
+    assert c.get("k") is None
+    assert len(c) == 0
+    assert c.stats()["misses"] == 1
+    assert c.stats()["hits"] == 0
+
+
+def test_hit_miss_accounting_and_clear():
+    c = DecompositionCache(maxsize=8)
+    assert c.get("k") is None
+    c.put("k", 1)
+    assert c.get("k") == 1
+    s = c.stats()
+    assert (s["hits"], s["misses"], s["size"], s["maxsize"]) == (1, 1, 1, 8)
+    c.clear()
+    assert len(c) == 0
+
+
+def test_key_separates_weights_backend_and_labels():
+    g1 = ring([1.0, 2.0, 3.0, 4.0])
+    g2 = ring([1.0, 2.0, 3.0, 5.0])
+    assert decomposition_key(g1, FLOAT) != decomposition_key(g2, FLOAT)
+    assert decomposition_key(g1, FLOAT) != decomposition_key(g1, EXACT)
+    relabeled = g1.relabel([f"x{i}" for i in range(g1.n)])
+    assert decomposition_key(g1, FLOAT) != decomposition_key(relabeled, FLOAT)
+    assert decomposition_key(g1, FLOAT) == decomposition_key(ring([1.0, 2.0, 3.0, 4.0]), FLOAT)

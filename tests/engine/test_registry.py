@@ -1,0 +1,55 @@
+"""Solver registry: lookup, registration, capability flags."""
+
+import pytest
+
+from repro.engine import DEFAULT_SOLVER, SOLVERS, Solver, SolverRegistry
+from repro.exceptions import EngineError
+from repro.flow import FlowNetwork
+
+
+def test_builtin_registry_contents():
+    assert SOLVERS.names() == ["dinic", "edmonds_karp", "push_relabel"]
+    assert DEFAULT_SOLVER in SOLVERS
+    assert SOLVERS.get("dinic").supports_arc_flows
+    assert SOLVERS.get("edmonds_karp").supports_arc_flows
+    assert not SOLVERS.get("push_relabel").supports_arc_flows
+
+
+def test_unknown_solver_raises_engine_error():
+    with pytest.raises(EngineError, match="unknown solver"):
+        SOLVERS.get("ford_fulkerson")
+    with pytest.raises(EngineError):
+        SOLVERS["nope"]
+
+
+def test_registry_is_a_mapping():
+    assert len(SOLVERS) == 3
+    assert set(iter(SOLVERS)) == set(SOLVERS.names())
+    assert isinstance(SOLVERS["dinic"], Solver)
+
+
+def test_register_and_call_custom_solver():
+    reg = SolverRegistry()
+    calls = []
+
+    def fake(net, s, t, zero_tol):
+        calls.append((s, t, zero_tol))
+        return 7.0
+
+    entry = reg.register("fake", fake, supports_arc_flows=False)
+    assert reg.get("fake") is entry
+    net = FlowNetwork(2)
+    assert entry(net, 0, 1) == 7.0
+    assert calls == [(0, 1, 0.0)]
+    with pytest.raises(EngineError):
+        reg.register("", fake)
+
+
+def test_all_builtin_solvers_solve_a_tiny_network():
+    for name in SOLVERS.names():
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(0, 2, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(2, 3, 3.0)
+        assert SOLVERS.get(name)(net, 0, 3) == pytest.approx(4.0)

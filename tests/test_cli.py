@@ -32,6 +32,35 @@ def test_run_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_run_with_solver_and_stats(capsys):
+    code = main(["run", "EXP-F1", "--scale", "smoke",
+                 "--solver", "edmonds_karp", "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "engine: solver=edmonds_karp" in out
+    # the CLI context is installed as the run's default, so even experiments
+    # without a ctx parameter route their solves (and counters) through it
+    assert "flow calls=0" not in out
+
+
+def test_run_no_cache(capsys):
+    code = main(["run", "EXP-F1", "--scale", "smoke", "--no-cache", "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cache hits=0" in out
+
+
+def test_stats_off_by_default(capsys):
+    assert main(["run", "EXP-F1", "--scale", "smoke"]) == 0
+    assert "engine:" not in capsys.readouterr().out
+
+
+def test_parser_rejects_bad_solver():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "EXP-T8", "--solver", "simplex"])
+
+
 def test_parser_rejects_bad_scale():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "EXP-F1", "--scale", "huge"])
