@@ -93,7 +93,9 @@ def best_split(
         raise AttackError("grid must have at least 2 points")
     ctx = resolve_context(ctx)
     with ctx.counters.timed("best_response"):
-        return _best_split_search(g, v, grid, refine_iters, backend, ctx)
+        result = _best_split_search(g, v, grid, refine_iters, backend, ctx)
+    ctx.audit_best_response(g, v, result)
+    return result
 
 
 def _best_split_search(

@@ -10,6 +10,12 @@ Engine flags (``run`` / ``all``): ``--solver`` picks the max-flow
 implementation, ``--no-cache`` disables the decomposition cache, and
 ``--stats`` prints engine counters (flow calls, cache hits, phase timings)
 after each experiment.
+
+Audit flags: ``--audit LEVEL`` (``off``/``cheap``/``differential``/
+``paranoid``) attaches the :mod:`repro.oracle` audit layer so every flow
+solve, decomposition, allocation, and best-response sweep of the run is
+validated as it happens; violations are serialized into ``--corpus DIR``
+(default ``corpus/``) for later ``repro-oracle replay``.
 """
 
 from __future__ import annotations
@@ -55,14 +61,30 @@ def _common(p: argparse.ArgumentParser) -> None:
                    help="disable the bottleneck-decomposition cache")
     p.add_argument("--stats", action="store_true",
                    help="print engine counters (flow calls, cache hits, timings)")
+    p.add_argument("--audit", default="off",
+                   choices=["off", "cheap", "differential", "paranoid"],
+                   help="validate every engine operation as it runs "
+                        "(cheap: certificates; differential: + sampled "
+                        "re-solves against independent oracles; paranoid: "
+                        "everything, every call)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="failure-corpus directory for audit violations "
+                        "(default: corpus/; implies nothing unless a "
+                        "violation is found)")
 
 
 def _engine_context(args: argparse.Namespace) -> EngineContext:
     """A fresh context per invocation, so ``--stats`` counts only this run."""
-    return EngineContext(
+    ctx = EngineContext(
         solver=args.solver or "dinic",
         cache_size=0 if args.no_cache else DEFAULT_CACHE_SIZE,
     )
+    if args.audit != "off":
+        from .oracle import DEFAULT_CORPUS_DIR, attach_auditor
+
+        attach_auditor(ctx, level=args.audit,
+                       corpus_dir=args.corpus or DEFAULT_CORPUS_DIR)
+    return ctx
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -190,7 +190,9 @@ def bd_allocation(
             for u in g.neighbors(v):
                 total = total + x.get((u, v), 0)
             utilities.append(total)
-    return Allocation(graph=g, x=x, utilities=tuple(utilities))
+    alloc = Allocation(graph=g, x=x, utilities=tuple(utilities))
+    ctx.audit_allocation(g, decomp, alloc)
+    return alloc
 
 
 def _big(g: WeightedGraph, backend: Backend):

@@ -332,5 +332,8 @@ def bottleneck_decomposition(
             index += 1
         decomp = BottleneckDecomposition(g, pairs, backend)
     ctx.counters.decompositions += 1
+    # Audit before caching: a decomposition that fails its invariants must
+    # never be served from the cache on a later request.
+    ctx.audit_decomposition(g, decomp)
     ctx.cache.put(key, decomp)
     return decomp

@@ -58,9 +58,11 @@ class EngineSpec:
     zero_tol: float = 0.0
     cache_size: int = DEFAULT_CACHE_SIZE
     workers: int = 0
+    audit: str = "off"
+    corpus_dir: Optional[str] = None
 
     def build(self, registry: SolverRegistry | None = None) -> "EngineContext":
-        return EngineContext(
+        ctx = EngineContext(
             solver=self.solver,
             backend=self.backend,
             zero_tol=self.zero_tol,
@@ -68,6 +70,14 @@ class EngineSpec:
             workers=self.workers,
             registry=registry if registry is not None else SOLVERS,
         )
+        if self.audit != "off":
+            # Lazy import: ``engine`` stays a leaf of the import graph; the
+            # oracle layer (which imports core/io) is pulled in only when a
+            # spec actually requests auditing.
+            from ..oracle import attach_auditor
+
+            attach_auditor(ctx, level=self.audit, corpus_dir=self.corpus_dir)
+        return ctx
 
     def with_cache(self, cache_size: int) -> "EngineSpec":
         return replace(self, cache_size=cache_size)
@@ -104,6 +114,11 @@ class EngineContext:
     registry: SolverRegistry = field(default_factory=lambda: SOLVERS, repr=False)
     cache: DecompositionCache = field(default=None, repr=False)  # type: ignore[assignment]
     counters: Counters = field(default_factory=Counters, repr=False)
+    #: Optional audit hook (see :mod:`repro.oracle`).  Typed loosely so the
+    #: engine package stays an import-graph leaf; anything with the
+    #: ``on_flow`` / ``on_decomposition`` / ``on_allocation`` /
+    #: ``on_best_response`` methods qualifies.
+    auditor: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -141,7 +156,26 @@ class EngineContext:
         entry = self.solver_entry(need_arc_flows=need_arc_flows)
         self.counters.flow_calls += 1
         tol = self.zero_tol if zero_tol is None else zero_tol
-        return entry.fn(net, s, t, tol)
+        value = entry.fn(net, s, t, tol)
+        if self.auditor is not None:
+            self.auditor.on_flow(self, net, s, t, value, tol, entry)
+        return value
+
+    # -- audit hooks -------------------------------------------------------
+    # No-ops when no auditor is attached; the oracle layer implements the
+    # receiving side.  Kept as context methods so core/attack call sites do
+    # not need to know whether auditing is configured.
+    def audit_decomposition(self, g, decomp) -> None:
+        if self.auditor is not None:
+            self.auditor.on_decomposition(self, g, decomp)
+
+    def audit_allocation(self, g, decomp, alloc) -> None:
+        if self.auditor is not None:
+            self.auditor.on_allocation(self, g, decomp, alloc)
+
+    def audit_best_response(self, g, v, result) -> None:
+        if self.auditor is not None:
+            self.auditor.on_best_response(self, g, v, result)
 
     # -- backend / worker resolution -------------------------------------
     def resolve_backend(self, backend: Optional[Backend]) -> Backend:
@@ -159,6 +193,8 @@ class EngineContext:
             zero_tol=self.zero_tol,
             cache_size=self.cache.maxsize,
             workers=self.workers,
+            audit=getattr(self.auditor, "level_name", "off") if self.auditor else "off",
+            corpus_dir=getattr(self.auditor, "corpus_dir", None) if self.auditor else None,
         )
 
     # -- instrumentation --------------------------------------------------

@@ -26,6 +26,13 @@ class Counters:
     was swapped for Dinic because the caller needed per-arc flows.
     ``phase_seconds`` maps phase labels (``"decompose"``, ``"allocate"``,
     ``"best_response"``) to cumulative wall time.
+
+    The ``audit_*`` family is written by the :mod:`repro.oracle` audit layer:
+    ``audit_flow_checks`` / ``audit_invariant_checks`` count cheap validations
+    (flow axioms + min-cut certificates, paper invariants),
+    ``audit_differential_checks`` counts re-solves against independent
+    oracles, ``audit_disagreements`` the differential mismatches, and
+    ``audit_violations`` every failed audit of any kind.
     """
 
     flow_calls: int = 0
@@ -35,6 +42,11 @@ class Counters:
     cache_hits: int = 0
     cache_misses: int = 0
     arc_flow_fallbacks: int = 0
+    audit_flow_checks: int = 0
+    audit_invariant_checks: int = 0
+    audit_differential_checks: int = 0
+    audit_disagreements: int = 0
+    audit_violations: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -57,6 +69,11 @@ class Counters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "arc_flow_fallbacks": self.arc_flow_fallbacks,
+            "audit_flow_checks": self.audit_flow_checks,
+            "audit_invariant_checks": self.audit_invariant_checks,
+            "audit_differential_checks": self.audit_differential_checks,
+            "audit_disagreements": self.audit_disagreements,
+            "audit_violations": self.audit_violations,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -68,6 +85,11 @@ class Counters:
         self.cache_hits = 0
         self.cache_misses = 0
         self.arc_flow_fallbacks = 0
+        self.audit_flow_checks = 0
+        self.audit_invariant_checks = 0
+        self.audit_differential_checks = 0
+        self.audit_disagreements = 0
+        self.audit_violations = 0
         self.phase_seconds = {}
 
     def merge(self, other: "Counters") -> None:
@@ -79,5 +101,10 @@ class Counters:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.arc_flow_fallbacks += other.arc_flow_fallbacks
+        self.audit_flow_checks += other.audit_flow_checks
+        self.audit_invariant_checks += other.audit_invariant_checks
+        self.audit_differential_checks += other.audit_differential_checks
+        self.audit_disagreements += other.audit_disagreements
+        self.audit_violations += other.audit_violations
         for phase, secs in other.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + secs

@@ -20,6 +20,8 @@ __all__ = [
     "AttackError",
     "EngineError",
     "ExperimentError",
+    "AuditError",
+    "CorpusError",
 ]
 
 
@@ -70,3 +72,20 @@ class EngineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment failed internally."""
+
+
+class AuditError(ReproError):
+    """An oracle audit caught a violated invariant or solver disagreement.
+
+    Carries the path of the corpus record serialized for the failure (when
+    a corpus is configured) so the message alone is enough to replay it.
+    """
+
+    def __init__(self, message: str, record_path: str | None = None) -> None:
+        super().__init__(message if record_path is None
+                         else f"{message} [corpus record: {record_path}]")
+        self.record_path = record_path
+
+
+class CorpusError(ReproError):
+    """A failure-corpus record is missing, malformed, or unreplayable."""

@@ -45,6 +45,15 @@ def format_engine_stats(stats: dict) -> str:
     phases = ", ".join(
         f"{name}={secs:.3f}s" for name, secs in sorted(stats.get("phase_seconds", {}).items())
     )
+    audit = ""
+    if stats.get("audit_flow_checks") or stats.get("audit_invariant_checks"):
+        audit = (
+            f" | audit: flow={stats.get('audit_flow_checks', 0)} "
+            f"invariant={stats.get('audit_invariant_checks', 0)} "
+            f"differential={stats.get('audit_differential_checks', 0)} "
+            f"disagreements={stats.get('audit_disagreements', 0)} "
+            f"violations={stats.get('audit_violations', 0)}"
+        )
     return (
         f"engine: solver={stats.get('solver')} backend={stats.get('backend')} | "
         f"flow calls={stats.get('flow_calls')} "
@@ -53,6 +62,7 @@ def format_engine_stats(stats: dict) -> str:
         f"allocations={stats.get('allocations')} | "
         f"cache hits={cache.get('hits')} misses={cache.get('misses')} "
         f"size={cache.get('size')}/{cache.get('maxsize')}"
+        + audit
         + (f" | {phases}" if phases else "")
     )
 

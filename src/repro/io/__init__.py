@@ -8,6 +8,8 @@ from .serialization import (
     graph_to_dict,
     load_graph,
     load_result,
+    network_from_dict,
+    network_to_dict,
 )
 
 __all__ = [
@@ -19,4 +21,6 @@ __all__ = [
     "graph_to_dict",
     "load_graph",
     "load_result",
+    "network_from_dict",
+    "network_to_dict",
 ]

@@ -1,9 +1,11 @@
 """JSON round-trips for instances and experiment results.
 
-Weights serialize as exact strings (``"3/7"`` for Fractions, ``repr`` for
+Weights serialize as exact strings (``"3/7"`` for Fractions, hex for
 floats) so an instance archived by one run reproduces bit-identically in the
 next -- essential for regression-tracking worst-case instances discovered by
-the search.
+the search and for the oracle's replayable failure corpus, which archives
+both whole graphs and individual :class:`~repro.flow.FlowNetwork` solve
+calls (original capacities only; residual state is recomputed on replay).
 """
 
 from __future__ import annotations
@@ -13,10 +15,12 @@ from fractions import Fraction
 from typing import Any
 
 from ..exceptions import ReproError
+from ..flow.network import FlowNetwork
 from ..graphs import WeightedGraph
 from ..numeric import Scalar
 
 __all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph",
+           "network_to_dict", "network_from_dict",
            "dump_result", "load_result"]
 
 
@@ -61,6 +65,30 @@ def graph_from_dict(d: dict) -> WeightedGraph:
         )
     except KeyError as exc:
         raise ReproError(f"missing graph field {exc}") from exc
+
+
+def network_to_dict(net: FlowNetwork) -> dict:
+    """Structured representation of a flow network's *original* capacities.
+
+    Only forward arcs are stored (reverse arcs are reconstructed by
+    ``add_edge``), in construction order so arc ids survive the round-trip.
+    Any routed flow is deliberately dropped: a corpus record must replay the
+    solve from scratch, not trust the residual state that failed.
+    """
+    arcs = []
+    for arc in range(0, net.num_arcs, 2):
+        arcs.append([net.head[arc ^ 1], net.head[arc], _scalar_to_json(net.orig_cap[arc])])
+    return {"n": net.n, "arcs": arcs}
+
+
+def network_from_dict(d: dict) -> FlowNetwork:
+    try:
+        net = FlowNetwork(d["n"])
+        for u, v, cap in d["arcs"]:
+            net.add_edge(u, v, _scalar_from_json(cap))
+        return net
+    except KeyError as exc:
+        raise ReproError(f"missing network field {exc}") from exc
 
 
 def dump_graph(g: WeightedGraph, path: str) -> None:

@@ -1,0 +1,66 @@
+"""Differential-oracle and invariant-audit subsystem.
+
+Plugs into :class:`~repro.engine.EngineContext` via :func:`attach_auditor`
+and turns every experiment run into a self-checking one: each max-flow
+solve, bottleneck decomposition, BD allocation, and best-response sweep is
+validated against the paper's structural invariants and (at the higher
+audit levels) re-solved against independent oracles.  Violations are
+serialized into a replayable on-disk failure corpus; ``repro-oracle
+replay`` re-runs the corpus as a regression suite.
+
+Layering: this package sits *above* ``engine`` and ``core`` (it imports
+both), while ``engine`` only ever sees the auditor as an opaque hook --
+the lazy import in ``EngineSpec.build`` keeps the engine a leaf of the
+import graph.
+"""
+
+from .audit import AUDIT_LEVELS, AuditConfig, Auditor, attach_auditor
+from .corpus import (
+    CORPUS_FORMAT,
+    DEFAULT_CORPUS_DIR,
+    FailureCorpus,
+    FailureRecord,
+    backend_from_dict,
+    backend_to_dict,
+    shrink_graph,
+)
+from .differential import (
+    BRUTE_FORCE_LIMIT,
+    differential_decomposition_problems,
+    differential_flow_problems,
+    networkx_max_flow_value,
+)
+from .invariants import (
+    allocation_problems,
+    best_response_problems,
+    decomposition_problems,
+    fixed_point_problems,
+    flow_certificate_problems,
+)
+from .replay import ReplayResult, replay_corpus, replay_record
+
+__all__ = [
+    "AUDIT_LEVELS",
+    "AuditConfig",
+    "Auditor",
+    "attach_auditor",
+    "CORPUS_FORMAT",
+    "DEFAULT_CORPUS_DIR",
+    "FailureCorpus",
+    "FailureRecord",
+    "backend_from_dict",
+    "backend_to_dict",
+    "shrink_graph",
+    "BRUTE_FORCE_LIMIT",
+    "differential_decomposition_problems",
+    "differential_flow_problems",
+    "networkx_max_flow_value",
+    "allocation_problems",
+    "best_response_problems",
+    "decomposition_problems",
+    "fixed_point_problems",
+    "flow_certificate_problems",
+    "ReplayResult",
+    "replay_corpus",
+    "replay_record",
+]

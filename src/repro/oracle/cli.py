@@ -1,0 +1,141 @@
+"""Command-line entry point: ``repro-oracle``.
+
+Usage::
+
+    repro-oracle list   [--corpus DIR]        # enumerate corpus records
+    repro-oracle replay [--corpus DIR] [--record PATH]
+    repro-oracle shrink PATH [--corpus DIR]   # minimize a graph-kind record
+
+``replay`` is the corpus-as-regression-suite surface: every record is
+re-run against the current code and the exit status is non-zero iff any
+historical failure still reproduces.  CI replays the checked-in corpus on
+every push; a new bug found by ``repro-exp --audit`` lands here as a record
+and stays green forever after the fix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..exceptions import ReproError
+from ..io.serialization import graph_from_dict, graph_to_dict
+from .corpus import DEFAULT_CORPUS_DIR, FailureCorpus, FailureRecord
+from .replay import replay_record
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-oracle",
+        description="Replay and manage the oracle failure corpus",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="list corpus records")
+    list_p.add_argument("--corpus", default=DEFAULT_CORPUS_DIR, metavar="DIR")
+
+    replay_p = sub.add_parser("replay", help="replay records as a regression suite")
+    replay_p.add_argument("--corpus", default=DEFAULT_CORPUS_DIR, metavar="DIR")
+    replay_p.add_argument("--record", default=None, metavar="PATH",
+                          help="replay a single record instead of the whole corpus")
+
+    shrink_p = sub.add_parser("shrink", help="minimize a graph-kind record in place")
+    shrink_p.add_argument("record", metavar="PATH")
+    shrink_p.add_argument("--max-evals", type=int, default=200)
+    return parser
+
+
+def _cmd_list(corpus: FailureCorpus) -> int:
+    paths = corpus.paths()
+    if not paths:
+        print(f"corpus {corpus.root} is empty")
+        return 0
+    for path in paths:
+        rec = corpus.load(path)
+        summary = rec.problems[0] if rec.problems else "(no recorded problems)"
+        print(f"{path.name:34s} {rec.kind:14s} {rec.created or '-':20s} {summary}")
+    return 0
+
+
+def _cmd_replay(corpus: FailureCorpus, record: str | None) -> int:
+    if record is not None:
+        targets = [record]
+    else:
+        targets = [str(p) for p in corpus.paths()]
+        if not targets:
+            print(f"corpus {corpus.root} is empty; nothing to replay")
+            return 0
+    reproduced = 0
+    for path in targets:
+        res = replay_record(corpus.load(path))
+        tag = "REPRO" if res.reproduced else "clean"
+        print(f"[{tag}] {path}")
+        for problem in res.problems:
+            print(f"        {problem}")
+        reproduced += res.reproduced
+    print(f"== corpus replay: {len(targets) - reproduced}/{len(targets)} clean"
+          + (f"; {reproduced} still reproduce ==" if reproduced else " =="))
+    return 1 if reproduced else 0
+
+
+def _cmd_shrink(corpus: FailureCorpus, path: str, max_evals: int) -> int:
+    import json
+
+    from .corpus import shrink_graph
+
+    rec = corpus.load(path)
+    if "graph" not in rec.payload:
+        print(f"record {path} has no graph payload; only graph-kind records shrink",
+              file=sys.stderr)
+        return 2
+    g = graph_from_dict(rec.payload["graph"])
+
+    def fails(candidate) -> bool:
+        trial = FailureRecord(
+            kind=rec.kind, problems=(), context=rec.context,
+            payload=dict(rec.payload, graph=graph_to_dict(candidate)),
+        )
+        try:
+            return replay_record(trial).reproduced
+        except ReproError:
+            return False
+
+    if not fails(g):
+        print(f"record {path} does not reproduce; nothing to shrink")
+        return 0
+    small = shrink_graph(g, fails, max_evals=max_evals)
+    if small.n == g.n:
+        print(f"record {path} is already minimal at n={g.n}")
+        return 0
+    shrunk = FailureRecord(
+        kind=rec.kind, problems=rec.problems, context=rec.context,
+        payload=dict(rec.payload, graph=graph_to_dict(small), shrunk_from_n=g.n),
+        created=rec.created,
+    )
+    with open(path, "w") as f:
+        json.dump(shrunk.to_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"shrunk {path}: n={g.n} -> n={small.n}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        corpus = FailureCorpus(getattr(args, "corpus", DEFAULT_CORPUS_DIR))
+        if args.command == "list":
+            return _cmd_list(corpus)
+        if args.command == "replay":
+            return _cmd_replay(corpus, args.record)
+        if args.command == "shrink":
+            return _cmd_shrink(corpus, args.record, args.max_evals)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

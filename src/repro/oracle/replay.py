@@ -1,0 +1,157 @@
+"""Replay corpus records against a fresh engine.
+
+A replay re-runs the recorded failing call -- same solver, same backend,
+same zero-tolerance -- and applies the *same* invariant predicates the
+auditor used, at the audit level stored in the record.  The verdict is
+``reproduced`` when any predicate still fails (or the computation itself
+raises), ``clean`` when the historical failure no longer manifests.
+
+Replaying never consults the ``problems`` text stored in the record: those
+document what was seen at record time, while the verdict must reflect the
+code under test now.  Passing a custom solver registry lets tests replay a
+record against the (possibly deliberately corrupted) solver that produced
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import SOLVERS, EngineContext, SolverRegistry
+from ..exceptions import CorpusError, ReproError
+from ..io.serialization import graph_from_dict, network_from_dict
+from .corpus import FailureCorpus, FailureRecord, backend_from_dict
+from .differential import (
+    differential_decomposition_problems,
+    differential_flow_problems,
+)
+from .invariants import (
+    allocation_problems,
+    best_response_problems,
+    decomposition_problems,
+    fixed_point_problems,
+    flow_certificate_problems,
+)
+
+__all__ = ["ReplayResult", "replay_record", "replay_corpus"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Verdict of one record replay."""
+
+    kind: str
+    reproduced: bool
+    problems: tuple[str, ...]
+
+    @property
+    def verdict(self) -> str:
+        return "REPRODUCED" if self.reproduced else "clean"
+
+
+def _context(rec: FailureRecord, registry: SolverRegistry) -> EngineContext:
+    solver = rec.context.get("solver", "dinic")
+    if solver not in registry:
+        raise CorpusError(
+            f"record needs solver {solver!r} which is not registered "
+            f"(have: {', '.join(registry.names())})"
+        )
+    return EngineContext(
+        solver=solver,
+        backend=backend_from_dict(rec.context.get("backend", {"tol": 0.0})),
+        zero_tol=rec.context.get("zero_tol", 0.0),
+        cache_size=0,
+        registry=registry,
+    )
+
+
+def replay_record(
+    rec: FailureRecord, registry: SolverRegistry | None = None
+) -> ReplayResult:
+    """Re-run one record's failing call and re-apply its audit predicates."""
+    registry = registry if registry is not None else SOLVERS
+    ctx = _context(rec, registry)
+    level = rec.context.get("level", "cheap")
+    differential = level in ("differential", "paranoid")
+    try:
+        if rec.kind == "flow":
+            problems = _replay_flow(rec, ctx, differential)
+        elif rec.kind == "decomposition":
+            problems = _replay_decomposition(rec, ctx, differential)
+        elif rec.kind == "allocation":
+            problems = _replay_allocation(rec, ctx, level == "paranoid")
+        elif rec.kind == "best_response":
+            problems = _replay_best_response(rec, ctx)
+        else:  # pragma: no cover - FailureRecord validates kinds
+            raise CorpusError(f"unknown record kind {rec.kind!r}")
+    except CorpusError:
+        raise
+    except ReproError as exc:
+        # The recorded call itself still blows up -- strongest reproduction.
+        problems = [f"{type(exc).__name__}: {exc}"]
+    return ReplayResult(
+        kind=rec.kind, reproduced=bool(problems), problems=tuple(problems)
+    )
+
+
+def _replay_flow(rec: FailureRecord, ctx: EngineContext, differential: bool) -> list[str]:
+    p = rec.payload
+    net = network_from_dict(p["network"])
+    s, t, zero_tol = p["s"], p["t"], p.get("zero_tol", ctx.zero_tol)
+    entry = ctx.registry.get(rec.context.get("solver", "dinic"))
+    value = entry.fn(net, s, t, zero_tol)
+    problems = flow_certificate_problems(
+        net, s, t, value, zero_tol, arc_flows_valid=entry.supports_arc_flows
+    )
+    if differential:
+        diff, _ = differential_flow_problems(
+            net, s, t, value, zero_tol, solved_by=entry, registry=ctx.registry,
+            nx_node_limit=64,
+        )
+        problems += diff
+    return problems
+
+
+def _replay_decomposition(
+    rec: FailureRecord, ctx: EngineContext, differential: bool
+) -> list[str]:
+    from ..core.bottleneck import bottleneck_decomposition
+
+    g = graph_from_dict(rec.payload["graph"])
+    d = bottleneck_decomposition(g, ctx.backend, ctx)
+    problems = decomposition_problems(g, d)
+    if differential:
+        diff, _ = differential_decomposition_problems(g, d)
+        problems += diff
+    return problems
+
+
+def _replay_allocation(rec: FailureRecord, ctx: EngineContext, paranoid: bool) -> list[str]:
+    from ..core.allocation import bd_allocation
+
+    g = graph_from_dict(rec.payload["graph"])
+    alloc = bd_allocation(g, backend=ctx.backend, ctx=ctx)
+    problems = allocation_problems(g, alloc, ctx.backend)
+    if paranoid:
+        problems += fixed_point_problems(alloc)
+    return problems
+
+
+def _replay_best_response(rec: FailureRecord, ctx: EngineContext) -> list[str]:
+    from ..attack.best_response import best_split
+
+    g = graph_from_dict(rec.payload["graph"])
+    v = rec.payload["vertex"]
+    br = best_split(g, v, grid=rec.payload.get("grid", 32),
+                    backend=ctx.backend, ctx=ctx)
+    return best_response_problems(g, v, br)
+
+
+def replay_corpus(
+    corpus: FailureCorpus, registry: SolverRegistry | None = None
+) -> list[tuple[str, ReplayResult]]:
+    """Replay every record; returns ``(path, result)`` in path order."""
+    results = []
+    for path, rec in corpus:
+        results.append((str(path), replay_record(rec, registry)))
+    return results

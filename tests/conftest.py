@@ -1,0 +1,37 @@
+"""Shared test configuration: hypothesis profiles.
+
+Two profiles, selected via the ``HYPOTHESIS_PROFILE`` environment variable:
+
+``dev`` (default)
+    Fast and derandomized, for the local edit-test loop.  Derandomization
+    makes failures reproduce immediately instead of depending on the seed
+    of the day; the example budget is small so the whole property suite
+    stays in the tier-1 time box.
+
+``ci``
+    More examples, still no deadline (CI machines have noisy timing).  The
+    GitHub workflow exports ``HYPOTHESIS_PROFILE=ci``.
+
+Individual tests can still override parameters with an explicit
+``@settings(...)``; anything they do not override inherits from the active
+profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

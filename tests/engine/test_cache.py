@@ -18,6 +18,40 @@ def test_lru_eviction_order():
     assert len(c) == 2
 
 
+def test_eviction_at_exact_capacity_boundary():
+    """Filling to maxsize evicts nothing; the (maxsize+1)-th insert evicts
+    exactly one entry -- the least recently used -- and never more."""
+    c = DecompositionCache(maxsize=3)
+    for k in "abc":
+        c.put(k, k.upper())
+    assert c.evictions == 0 and len(c) == 3
+    c.put("d", "D")  # one past capacity
+    assert c.evictions == 1 and len(c) == 3
+    assert c.get("a") is None  # "a" was least recent
+    assert [c.get(k) for k in "bcd"] == ["B", "C", "D"]
+
+
+def test_maxsize_one_keeps_only_most_recent():
+    c = DecompositionCache(maxsize=1)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert len(c) == 1
+    assert c.get("a") is None and c.get("b") == 2
+    assert c.evictions == 1
+
+
+def test_overwriting_existing_key_does_not_evict():
+    c = DecompositionCache(maxsize=2)
+    c.put("a", 1)
+    c.put("b", 2)
+    c.put("a", 10)  # update in place: still 2 entries, no eviction
+    assert len(c) == 2 and c.evictions == 0
+    # the overwrite refreshed "a", so "b" is now the LRU victim
+    c.put("c", 3)
+    assert c.get("b") is None
+    assert c.get("a") == 10 and c.get("c") == 3
+
+
 def test_disabled_cache_never_stores():
     c = DecompositionCache(maxsize=0)
     assert not c.enabled

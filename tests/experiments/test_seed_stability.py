@@ -1,0 +1,28 @@
+"""Determinism: same seed, same scale => bit-identical experiment output.
+
+Every experiment derives all randomness from its ``seed`` parameter (no
+global RNG, no wall-clock, no dict-iteration hazards), so two runs with the
+same seed must agree exactly -- structured ``data``, tables, and check
+verdicts alike.  This is what makes a failure reported by CI reproducible
+locally by copy-pasting the command line, and what lets the audit layer's
+counter-based sampling line up across re-runs.
+
+Each run gets its own fresh :class:`EngineContext` so the shared
+decomposition cache cannot leak state between the two passes.
+"""
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.experiments import run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_same_seed_reproduces_exactly(exp_id):
+    first = run_experiment(exp_id, seed=3, scale="smoke", ctx=EngineContext())
+    second = run_experiment(exp_id, seed=3, scale="smoke", ctx=EngineContext())
+
+    assert first.data == second.data
+    assert first.render(stats=False) == second.render(stats=False)
+    assert [c.ok for c in first.checks] == [c.ok for c in second.checks]

@@ -74,6 +74,42 @@ def test_bad_scalar_encoding():
         graph_from_dict({"n": 1, "edges": [], "weights": [{"mystery": 1}]})
 
 
+def test_network_roundtrip_preserves_arcs_and_drops_flow():
+    import json
+    import math
+
+    from repro.engine import SOLVERS
+    from repro.io import network_from_dict, network_to_dict
+    from repro.flow.network import FlowNetwork
+
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 0.30000000000000004)
+    net.add_edge(0, 2, math.inf)
+    net.add_edge(1, 3, Fraction(2, 7))
+    net.add_edge(2, 3, 5)
+    net.add_edge(0, 1, 1.5)  # parallel arc: construction order must survive
+    SOLVERS.get("dinic").fn(net, 0, 3, 0.0)  # route some flow
+
+    d = network_to_dict(net)
+    json.dumps(d)  # JSON-safe even with inf (hex-encoded) and Fractions
+    again = network_from_dict(d)
+
+    assert again.n == net.n and again.num_arcs == net.num_arcs
+    for arc in range(0, net.num_arcs, 2):
+        assert again.head[arc] == net.head[arc]
+        assert again.orig_cap[arc] == net.orig_cap[arc]
+        # routed flow was deliberately dropped: pristine residuals
+        assert again.cap[arc] == again.orig_cap[arc]
+        assert again.flow_on(arc) == 0 or again.flow_on(arc) == 0.0
+
+
+def test_network_from_dict_missing_field():
+    from repro.io import network_from_dict
+
+    with pytest.raises(ReproError):
+        network_from_dict({"n": 3})
+
+
 def test_result_roundtrip(tmp_path):
     path = str(tmp_path / "r.json")
     dump_result({"zeta": 1.99, "fraction": Fraction(1, 3)}, path)

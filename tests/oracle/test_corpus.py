@@ -1,0 +1,125 @@
+"""Failure corpus: records, content-hash dedup, versioning, shrinking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import CorpusError
+from repro.graphs import ring
+from repro.io.serialization import graph_to_dict
+from repro.numeric import DEFAULT_TOL, EXACT, FLOAT
+from repro.oracle import (
+    CORPUS_FORMAT,
+    FailureCorpus,
+    FailureRecord,
+    backend_from_dict,
+    backend_to_dict,
+    shrink_graph,
+)
+
+
+def _record(problems=("it broke",), weights=(1.0, 2.0, 3.0)):
+    return FailureRecord(
+        kind="decomposition",
+        problems=tuple(problems),
+        context={"solver": "dinic", "backend": backend_to_dict(FLOAT),
+                 "zero_tol": 0.0, "level": "cheap"},
+        payload={"graph": graph_to_dict(ring(list(weights)))},
+        created="2026-01-01T00:00:00Z",
+    )
+
+
+def test_record_round_trips_through_dict():
+    rec = _record()
+    again = FailureRecord.from_dict(rec.to_dict())
+    assert again == rec
+    assert again.digest() == rec.digest()
+
+
+def test_digest_ignores_problems_text_and_timestamp():
+    a = _record(problems=("first discovery",))
+    b = FailureRecord(kind=a.kind, problems=("second, different words",),
+                      context=a.context, payload=a.payload,
+                      created="2027-12-31T23:59:59Z")
+    assert a.digest() == b.digest()
+    # but a different instance is a different failure
+    c = _record(weights=(1.0, 2.0, 4.0))
+    assert c.digest() != a.digest()
+
+
+def test_unknown_kind_and_newer_format_are_refused():
+    with pytest.raises(CorpusError, match="unknown failure kind"):
+        FailureRecord(kind="spooky", problems=(), context={}, payload={})
+    newer = dict(_record().to_dict(), format=CORPUS_FORMAT + 1)
+    with pytest.raises(CorpusError, match="newer than supported"):
+        FailureRecord.from_dict(newer)
+
+
+def test_corpus_is_lazy_and_deduplicates(tmp_path):
+    root = tmp_path / "corpus"
+    corpus = FailureCorpus(root)
+    assert not root.exists()  # configuring a corpus touches nothing
+    assert len(corpus) == 0 and corpus.paths() == []
+
+    p1 = corpus.add(_record(problems=("seen once",)))
+    p2 = corpus.add(_record(problems=("rediscovered later",)))
+    assert p1 == p2  # same failure, same file
+    assert len(corpus) == 1
+    assert p1.name.startswith("decomposition-")
+
+    loaded = corpus.load(p1)
+    assert loaded.problems == ("seen once",)  # first writer wins
+    assert [rec.kind for _, rec in corpus] == ["decomposition"]
+
+
+def test_corpus_load_rejects_garbage(tmp_path):
+    bad = tmp_path / "x.json"
+    bad.write_text("{not json")
+    with pytest.raises(CorpusError, match="unreadable"):
+        FailureCorpus(tmp_path).load(bad)
+
+
+def test_backend_round_trip():
+    assert backend_from_dict(backend_to_dict(EXACT)) is EXACT
+    assert backend_from_dict(backend_to_dict(FLOAT)) is FLOAT
+    custom = backend_from_dict({"name": "float", "tol": DEFAULT_TOL * 10})
+    assert custom.tol == DEFAULT_TOL * 10
+
+
+def test_shrink_graph_strips_padding_vertices():
+    g = ring([Fraction(1), Fraction(2), Fraction(7), Fraction(3), Fraction(4),
+              Fraction(5)])
+
+    def fails(sub):
+        return any(w == 7 for w in sub.weights)
+
+    small = shrink_graph(g, fails)
+    assert small.n == 2  # greedy floor: shrinking stops at two vertices
+    assert any(w == 7 for w in small.weights)
+
+
+def test_shrink_graph_respects_eval_budget_and_never_grows():
+    g = ring([float(k) for k in range(1, 9)])
+    calls = []
+
+    def fails(sub):
+        calls.append(sub.n)
+        return True
+
+    small = shrink_graph(g, fails, max_evals=3)
+    assert len(calls) <= 3
+    assert small.n < g.n  # made some progress within budget
+
+    # predicate that never holds on sub-instances: instance returned intact
+    assert shrink_graph(g, lambda sub: False).n == g.n
+
+
+def test_shrink_graph_treats_predicate_crash_as_non_witness():
+    g = ring([1.0, 2.0, 3.0, 4.0])
+
+    def fails(sub):
+        if sub.n < 4:
+            raise RuntimeError("malformed candidate")
+        return True
+
+    assert shrink_graph(g, fails).n == 4

@@ -2,7 +2,7 @@
 
 from fractions import Fraction
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.attack import best_split, honest_split, split_ring
 from repro.core import bd_allocation
@@ -17,7 +17,6 @@ ring_weights = st.lists(
 
 
 @given(ring_weights, st.integers(0, 6))
-@settings(max_examples=25, deadline=None)
 def test_theorem8_bound_holds(ws, v_raw):
     g = ring(ws)
     v = v_raw % g.n
@@ -26,7 +25,6 @@ def test_theorem8_bound_holds(ws, v_raw):
 
 
 @given(ring_weights, st.integers(0, 6))
-@settings(max_examples=25, deadline=None)
 def test_best_split_weights_valid(ws, v_raw):
     g = ring(ws)
     v = v_raw % g.n
@@ -37,7 +35,6 @@ def test_best_split_weights_valid(ws, v_raw):
 
 
 @given(st.lists(st.integers(1, 40), min_size=3, max_size=7), st.integers(0, 6))
-@settings(max_examples=25, deadline=None)
 def test_honest_split_neutral_exact(ws, v_raw):
     """Lemma 9, property form: the honest split never changes U_v."""
     g = ring([Fraction(w) for w in ws])
@@ -49,7 +46,6 @@ def test_honest_split_neutral_exact(ws, v_raw):
 
 @given(st.lists(st.integers(1, 40), min_size=3, max_size=6),
        st.integers(0, 5), st.integers(0, 16))
-@settings(max_examples=25, deadline=None)
 def test_any_split_is_at_most_double(ws, v_raw, k):
     """Theorem 8 holds pointwise, not just at the optimum."""
     g = ring([Fraction(w) for w in ws])
@@ -61,7 +57,6 @@ def test_any_split_is_at_most_double(ws, v_raw, k):
 
 
 @given(st.lists(st.integers(1, 40), min_size=3, max_size=6), st.integers(0, 5))
-@settings(max_examples=20, deadline=None)
 def test_split_only_redistributes_among_honest(ws, v_raw):
     """A Sybil attack cannot create utility: whatever the attacker gains,
     the honest agents lose in aggregate (market clearing on both graphs)."""

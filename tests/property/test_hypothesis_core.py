@@ -9,7 +9,7 @@ machinery.
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core import (
     alpha_ratio,
@@ -59,13 +59,11 @@ def rings(draw):
 # -- properties -------------------------------------------------------------
 
 @given(rings())
-@settings(max_examples=40, deadline=None)
 def test_alpha_of_whole_graph_at_most_one(g):
     assert alpha_ratio(g, list(g.vertices()), EXACT) <= 1
 
 
 @given(graphs())
-@settings(max_examples=30, deadline=None)
 def test_decomposition_covers_and_alphas_increase(g):
     d = bottleneck_decomposition(g, EXACT)
     covered = set()
@@ -79,14 +77,12 @@ def test_decomposition_covers_and_alphas_increase(g):
 
 
 @given(graphs())
-@settings(max_examples=25, deadline=None)
 def test_first_alpha_is_global_minimum(g):
     d = bottleneck_decomposition(g, EXACT)
     assert d.pairs[0].alpha == brute_force_min_alpha(g)
 
 
 @given(graphs())
-@settings(max_examples=25, deadline=None)
 def test_allocation_feasibility(g):
     alloc = bd_allocation(g, backend=EXACT)
     alloc.check_feasible()
@@ -96,7 +92,6 @@ def test_allocation_feasibility(g):
 
 
 @given(graphs())
-@settings(max_examples=25, deadline=None)
 def test_market_clears(g):
     # total received equals total weight (resource neither minted nor lost)
     alloc = bd_allocation(g, backend=EXACT)
@@ -104,7 +99,6 @@ def test_market_clears(g):
 
 
 @given(graphs())
-@settings(max_examples=25, deadline=None)
 def test_utilities_match_closed_form(g):
     d = bottleneck_decomposition(g, EXACT)
     alloc = bd_allocation(g, d, EXACT)
@@ -113,7 +107,6 @@ def test_utilities_match_closed_form(g):
 
 
 @given(graphs(allow_zero=True))
-@settings(max_examples=25, deadline=None)
 def test_zero_weights_never_crash_and_stay_feasible(g):
     alloc = bd_allocation(g, backend=EXACT)
     alloc.check_feasible()
@@ -124,7 +117,6 @@ def test_zero_weights_never_crash_and_stay_feasible(g):
 
 
 @given(rings(), st.integers(0, 7), st.integers(0, 16))
-@settings(max_examples=30, deadline=None)
 def test_misreport_never_beats_truth(g, v_raw, k):
     v = v_raw % g.n
     from repro.attack import utility_of_report
@@ -135,7 +127,6 @@ def test_misreport_never_beats_truth(g, v_raw, k):
 
 
 @given(rings(), st.integers(0, 7), st.integers(1, 15))
-@settings(max_examples=25, deadline=None)
 def test_sybil_split_conserves_total_resource(g, v_raw, num):
     from repro.attack import split_ring
 

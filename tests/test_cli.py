@@ -56,6 +56,29 @@ def test_stats_off_by_default(capsys):
     assert "engine:" not in capsys.readouterr().out
 
 
+def test_run_with_audit_reports_counters(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # a violation would file under tmp, not the repo
+    code = main(["run", "EXP-F1", "--scale", "smoke", "--audit", "cheap", "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "audit:" in out and "violations=0" in out
+    assert not (tmp_path / "corpus").exists()  # clean run files nothing
+
+
+def test_run_with_differential_audit_and_custom_corpus(capsys, tmp_path):
+    corpus_dir = str(tmp_path / "failures")
+    code = main(["run", "EXP-F1", "--scale", "smoke",
+                 "--audit", "differential", "--corpus", corpus_dir, "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "disagreements=0" in out
+
+
+def test_parser_rejects_bad_audit_level():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "EXP-F1", "--audit", "frantic"])
+
+
 def test_parser_rejects_bad_solver():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "EXP-T8", "--solver", "simplex"])
