@@ -1,4 +1,4 @@
-"""Process-parallel sweep execution.
+"""Process-parallel sweep execution, with optional supervision.
 
 Incentive-ratio sweeps are embarrassingly parallel: each (instance, agent)
 cell is an independent best-response search taking milliseconds to seconds.
@@ -13,6 +13,15 @@ the library's sweep shape:
 * ``processes=0`` (the default) short-circuits to a serial loop, which
   keeps tests fast and avoids fork overhead for small sweeps.
 
+Two execution paths share that contract.  The *legacy* path is a bare
+``Pool.map`` with an explicit, configurable start method -- fastest when
+nothing can go wrong (tests, smoke runs).  The *supervised* path routes
+cells through :func:`repro.runtime.supervised_map` whenever the resolved
+:class:`~repro.runtime.RuntimePolicy` asks for timeouts, retries,
+checkpointing, or fault injection -- the ``full``-scale overnight
+configuration, where a hung Dinkelbach iteration or an OOM-killed worker
+must cost one retried cell, not the whole sweep.
+
 Graphs and results cross process boundaries by pickling; everything in
 :mod:`repro.graphs` is plain-data and pickles cheaply.  Engine
 configuration crosses as a frozen :class:`~repro.engine.EngineSpec` --
@@ -25,13 +34,16 @@ into the caller's context.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 from ..engine import EngineContext, EngineSpec, resolve_context
 from ..graphs import WeightedGraph
+from ..numeric import EXACT
+from ..runtime import RuntimePolicy, open_journal, resolve_policy, supervised_map
 
-__all__ = ["parallel_map", "parallel_incentive_sweep"]
+__all__ = ["parallel_map", "parallel_incentive_sweep", "sweep_fingerprint"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -42,18 +54,34 @@ def parallel_map(
     items: Sequence[T],
     processes: int = 0,
     chunksize: int = 1,
+    start_method: str = "fork",
 ) -> list[R]:
     """Order-preserving map, serial (``processes=0``) or process-parallel.
 
     ``fn`` must be picklable (module-level function or functools.partial of
-    one).  Uses the ``spawn``-safe ``Pool.map`` so results align with
-    ``items``.
+    one).  The multiprocessing start method is explicit and configurable:
+    ``"fork"`` (the default, and what this function always actually used)
+    is fastest on Linux, ``"spawn"`` is the portable choice, and
+    ``"forkserver"`` splits the difference.  Teardown is unconditional --
+    on ``KeyboardInterrupt`` (or any other error) the pool is terminated
+    and joined before the exception propagates, so an interrupted sweep
+    never leaves orphaned workers behind.
     """
     items = list(items)
     if processes <= 0 or len(items) <= 1:
         return [fn(x) for x in items]
-    with mp.get_context("fork").Pool(processes=processes) as pool:
-        return pool.map(fn, items, chunksize=max(1, chunksize))
+    pool = mp.get_context(start_method).Pool(processes=processes)
+    try:
+        out = pool.map(fn, items, chunksize=max(1, chunksize))
+        pool.close()
+        pool.join()
+        return out
+    except BaseException:
+        # Covers KeyboardInterrupt: kill the workers *now*, reap them, then
+        # re-raise -- no orphans.
+        pool.terminate()
+        pool.join()
+        raise
 
 
 #: Per-process memo of contexts rebuilt from specs (one cache per worker).
@@ -79,11 +107,48 @@ def _ratio_cell(args: tuple) -> float:
     return best_split(g, v, grid=grid, ctx=ctx).ratio
 
 
+def _ratio_cell_exact(args: tuple) -> float:
+    """Precision-escalated twin of :func:`_ratio_cell`: the same cell under
+    the exact ``Fraction`` backend, where float overflow, NaN corruption,
+    and rounding-induced non-convergence cannot occur.  Used by the
+    supervisor after a typed numeric failure exhausts its float retries."""
+    g, v, grid, *rest = args
+    ctx = _context_for(rest[0] if rest else None)
+    from ..attack import best_split
+
+    return best_split(g, v, grid=grid, backend=EXACT, ctx=ctx).ratio
+
+
+def sweep_fingerprint(
+    cells: Sequence[tuple], grid: int, spec: EngineSpec | None
+) -> str:
+    """Content hash identifying one incentive sweep for checkpoint resume.
+
+    Folds in every input that determines cell values -- the instances
+    (weights by exact hex), the vertex per cell, the search grid, and the
+    engine configuration -- so a journal can never be resumed against a
+    different sweep without tripping the fingerprint check.
+    """
+    h = hashlib.sha256()
+    h.update(f"grid={grid}".encode())
+    if spec is not None:
+        h.update(repr((spec.solver, spec.backend.name, spec.zero_tol)).encode())
+    for g, v in cells:
+        h.update(f"|{v}|{g.n}".encode())
+        for u, w in g.edges:
+            h.update(f",{u},{w}".encode())
+        for w in g.weights:
+            h.update((w.hex() if isinstance(w, float) else repr(w)).encode())
+    return h.hexdigest()[:16]
+
+
 def parallel_incentive_sweep(
     graphs: Iterable[WeightedGraph],
     grid: int = 48,
     processes: Optional[int] = None,
     ctx: EngineContext | None = None,
+    policy: Optional[RuntimePolicy] = None,
+    checkpoint: Optional[str] = None,
 ) -> list[float]:
     """Worst ``zeta_v`` per instance, optionally across processes.
 
@@ -92,8 +157,20 @@ def parallel_incentive_sweep(
     into per-instance maxima.  ``processes=None`` defers to ``ctx.workers``
     (serial for the default context); serial runs share ``ctx`` directly so
     its counters and cache see every cell.
+
+    Supervision: when the resolved policy (explicit ``policy`` argument,
+    else ``ctx.runtime``, else the inert default) enables timeouts,
+    retries, fault injection, or a checkpoint, cells run under
+    :func:`repro.runtime.supervised_map` -- per-cell wall-clock budgets,
+    capped-backoff retries, worker respawn, serial degradation, and
+    escalation of typed numeric failures to the exact backend.  Results
+    remain bit-identical to an unsupervised serial run; a sweep resumed
+    from ``checkpoint`` after a kill is bit-identical to an uninterrupted
+    one.
     """
     rctx = resolve_context(ctx)
+    rpolicy = resolve_policy(rctx, policy)
+    checkpoint = checkpoint if checkpoint is not None else rpolicy.checkpoint
     procs = rctx.resolve_workers(processes)
     graphs = list(graphs)
     cells: list[tuple[WeightedGraph, int]] = []
@@ -101,14 +178,35 @@ def parallel_incentive_sweep(
     for g in graphs:
         offsets.append(len(cells))
         cells.extend((g, v) for v in g.vertices())
-    if procs <= 0 or len(cells) <= 1:
+
+    supervised = rpolicy.supervised or checkpoint is not None
+    if not supervised and (procs <= 0 or len(cells) <= 1):
         from ..attack import best_split
 
         flat = [best_split(g, v, grid=grid, ctx=rctx).ratio for g, v in cells]
+    elif not supervised:
+        spec = rctx.spec()
+        items = [(g, v, grid, spec) for g, v in cells]
+        flat = parallel_map(_ratio_cell, items, processes=procs,
+                            start_method=rpolicy.start_method)
     else:
         spec = rctx.spec()
         items = [(g, v, grid, spec) for g, v in cells]
-        flat = parallel_map(_ratio_cell, items, processes=procs)
+        fingerprint = sweep_fingerprint(cells, grid, spec)
+        journal = open_journal(checkpoint, fingerprint)
+        try:
+            flat = supervised_map(
+                _ratio_cell,
+                items,
+                processes=procs,
+                policy=rpolicy,
+                counters=rctx.counters,
+                escalate_fn=_ratio_cell_exact,
+                journal=journal,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
     out: list[float] = []
     for i, g in enumerate(graphs):
         start = offsets[i]

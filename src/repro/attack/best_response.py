@@ -119,7 +119,14 @@ def _best_split_search(
 
     def U(w1: float) -> float:
         w1 = min(max(w1, 0.0), wv)
-        return float(attacker_utility(g, v, w1, wv - w1, backend, ctx))
+        # Derive w2 through the backend: under EXACT, Fraction(w1) +
+        # Fraction(wv - w1) can miss w_v by an ulp (the float subtraction
+        # rounds), and split_ring rightly rejects a split that mints or
+        # destroys resource.  w2b = scalar(wv) - scalar(w1) sums exactly by
+        # construction and reduces to the old float arithmetic under FLOAT.
+        w1b = backend.scalar(w1)
+        w2b = backend.scalar(g.weights[v]) - w1b
+        return float(attacker_utility(g, v, w1b, w2b, backend, ctx))
 
     # coarse pass
     candidates = list(np.linspace(0.0, wv, grid + 1))

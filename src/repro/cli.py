@@ -16,6 +16,15 @@ Audit flags: ``--audit LEVEL`` (``off``/``cheap``/``differential``/
 solve, decomposition, allocation, and best-response sweep of the run is
 validated as it happens; violations are serialized into ``--corpus DIR``
 (default ``corpus/``) for later ``repro-oracle replay``.
+
+Runtime flags (``run`` / ``all``): ``--workers N`` runs sweep cells across
+N processes; ``--timeout S``, ``--retries K``, and ``--start-method``
+configure the :mod:`repro.runtime` supervisor (per-cell wall-clock budget,
+capped-backoff retries, explicit multiprocessing start method);
+``--checkpoint PATH`` journals completed work so a killed run resumes
+bit-identically; ``--inject-faults SPEC`` arms deterministic fault
+injection (e.g. ``"cell:exc@3;worker:kill@5;flow:nan@40"``) for chaos
+testing every recovery path.
 """
 
 from __future__ import annotations
@@ -27,6 +36,13 @@ from .engine import DEFAULT_CACHE_SIZE, SOLVERS, EngineContext, using_context
 from .exceptions import ReproError
 from .experiments import run_all, run_experiment
 from .io import dump_result
+from .runtime import (
+    START_METHODS,
+    RuntimePolicy,
+    clear_injector,
+    install_injector,
+    parse_fault_spec,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +87,27 @@ def _common(p: argparse.ArgumentParser) -> None:
                    help="failure-corpus directory for audit violations "
                         "(default: corpus/; implies nothing unless a "
                         "violation is found)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="processes for parallel sweep cells (0 = serial)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-cell wall-clock budget in seconds; a worker "
+                        "exceeding it is killed and the cell retried")
+    p.add_argument("--retries", type=int, default=0, metavar="K",
+                   help="retry budget for retryable cell failures "
+                        "(worker deaths, injected faults, typed numeric "
+                        "errors; exhausted numeric failures escalate to "
+                        "the exact backend)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="append-only resume journal; a rerun of the same "
+                        "(seed, scale, engine) suite replays completed "
+                        "work bit-identically")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection spec, clauses "
+                        "site:kind@n[:param] joined by ';' "
+                        "(sites exp/cell/worker/flow; e.g. "
+                        "'cell:exc@3;worker:kill@5;flow:nan@40')")
+    p.add_argument("--start-method", default="fork", choices=list(START_METHODS),
+                   help="multiprocessing start method for worker pools")
 
 
 def _engine_context(args: argparse.Namespace) -> EngineContext:
@@ -78,12 +115,28 @@ def _engine_context(args: argparse.Namespace) -> EngineContext:
     ctx = EngineContext(
         solver=args.solver or "dinic",
         cache_size=0 if args.no_cache else DEFAULT_CACHE_SIZE,
+        workers=args.workers,
     )
     if args.audit != "off":
         from .oracle import DEFAULT_CORPUS_DIR, attach_auditor
 
         attach_auditor(ctx, level=args.audit,
                        corpus_dir=args.corpus or DEFAULT_CORPUS_DIR)
+    # --checkpoint journals at *experiment* granularity (passed to the
+    # runner, not the policy): one file cannot serve as both the suite
+    # journal and every inner sweep's cell journal.  Sweep-level cell
+    # journals remain available programmatically via
+    # ``parallel_incentive_sweep(checkpoint=...)``.
+    policy = RuntimePolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        start_method=args.start_method,
+        faults=args.inject_faults,
+    )
+    ctx.runtime = policy
+    if args.inject_faults:
+        install_injector(parse_fault_spec(args.inject_faults),
+                         counters=ctx.counters)
     return ctx
 
 
@@ -98,16 +151,25 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if args.command == "run":
             ctx = _engine_context(args)
-            with using_context(ctx):
-                out = run_experiment(args.exp_id, seed=args.seed, scale=args.scale, ctx=ctx)
+            try:
+                with using_context(ctx):
+                    out = run_experiment(args.exp_id, seed=args.seed,
+                                         scale=args.scale, ctx=ctx,
+                                         checkpoint=args.checkpoint)
+            finally:
+                clear_injector()
             print(out.render(stats=args.stats))
             if args.json:
                 dump_result({"exp_id": out.exp_id, "ok": out.ok, "data": out.data}, args.json)
             return 0 if out.ok else 1
         if args.command == "all":
             ctx = _engine_context(args)
-            with using_context(ctx):
-                outs = run_all(seed=args.seed, scale=args.scale, ctx=ctx)
+            try:
+                with using_context(ctx):
+                    outs = run_all(seed=args.seed, scale=args.scale, ctx=ctx,
+                                   checkpoint=args.checkpoint)
+            finally:
+                clear_injector()
             for out in outs:
                 print(out.render(stats=args.stats))
                 print()

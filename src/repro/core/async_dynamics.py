@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine import instance_signature
 from ..exceptions import ConvergenceError
 from ..graphs import WeightedGraph
 
@@ -99,7 +100,10 @@ def async_proportional_response(
     converged = residual <= tol * scale
     if not converged and raise_on_failure:
         raise ConvergenceError(
-            f"async dynamics did not settle in {sweep} sweeps (residual {residual:g})"
+            f"async dynamics did not settle in {sweep} sweeps",
+            signature=instance_signature(g),
+            residual=residual,
+            iterations=sweep,
         )
     return AsyncResult(
         converged=converged,

@@ -38,8 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..engine import EngineContext, decomposition_key, resolve_context
-from ..exceptions import DecompositionError
+from ..engine import EngineContext, decomposition_key, instance_signature, resolve_context
+from ..exceptions import ConvergenceError, DecompositionError
 from ..flow import FlowNetwork, max_source_side
 from ..graphs import WeightedGraph, check_no_isolated
 from ..numeric import Backend, FLOAT, Scalar
@@ -245,6 +245,7 @@ def maximal_bottleneck(
     # stopping early at a tolerance would hand back a set that is not a
     # bottleneck (its allocation flow would not saturate).
     prev: frozenset[int] | None = None
+    prev_lam = lam
     for _ in range(_MAX_DINKELBACH_ITERS):
         ctx.counters.dinkelbach_iterations += 1
         S = _maximal_minimizer(g, active, lam, backend, ctx)
@@ -268,9 +269,17 @@ def maximal_bottleneck(
         a = g.weight_of(g.neighborhood(S) & active_set, backend) / wS
         if a >= lam:
             return frozenset(S), a
-        lam = a
+        prev_lam, lam = lam, a
         prev = frozenset(S)
-    raise DecompositionError("Dinkelbach iteration did not converge")
+    # Typed and retryable: the supervisor re-runs the cell and, if the
+    # failure is deterministic, escalates it to the exact backend (where the
+    # strict lambda descent through a finite ratio set provably terminates).
+    raise ConvergenceError(
+        f"Dinkelbach iteration did not converge in {_MAX_DINKELBACH_ITERS} steps",
+        signature=instance_signature(g, backend),
+        residual=abs(float(prev_lam) - float(lam)),
+        iterations=_MAX_DINKELBACH_ITERS,
+    )
 
 
 def bottleneck_decomposition(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import instance_signature
 from ..exceptions import ConvergenceError
 from ..graphs import WeightedGraph
 
@@ -146,7 +147,10 @@ def proportional_response(
         x_report = x
     if not converged and not oscillating and raise_on_failure:
         raise ConvergenceError(
-            f"proportional response did not settle in {it} iterations (residual {residual:g})"
+            f"proportional response did not settle in {it} iterations",
+            signature=instance_signature(g),
+            residual=residual,
+            iterations=it,
         )
     utilities = np.bincount(dst, weights=x_report, minlength=n)
     return DynamicsResult(

@@ -6,13 +6,14 @@ This package is a *leaf* of the library's import graph (it depends only on
 :class:`EngineContext` without cycles.
 """
 
-from .cache import DecompositionCache, decomposition_key
+from .cache import DecompositionCache, decomposition_key, instance_signature
 from .context import (
     DEFAULT_CACHE_SIZE,
     EngineContext,
     EngineSpec,
     default_context,
     resolve_context,
+    set_flow_fault_hook,
     using_context,
 )
 from .counters import Counters
@@ -22,6 +23,8 @@ __all__ = [
     "Counters",
     "DecompositionCache",
     "decomposition_key",
+    "instance_signature",
+    "set_flow_fault_hook",
     "DEFAULT_CACHE_SIZE",
     "EngineContext",
     "EngineSpec",

@@ -21,6 +21,7 @@ must never be served where a tolerance-aware float was requested.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Hashable, Optional, TYPE_CHECKING
 
@@ -30,12 +31,36 @@ from ..numeric import Backend
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.bottleneck import BottleneckDecomposition
 
-__all__ = ["DecompositionCache", "decomposition_key"]
+__all__ = ["DecompositionCache", "decomposition_key", "instance_signature"]
 
 
 def decomposition_key(g: WeightedGraph, backend: Backend) -> Hashable:
     """Canonical hashable signature of one decomposition request."""
     return (g.n, g.edges, g.weights, g.labels, backend.name, backend.tol)
+
+
+def instance_signature(g: WeightedGraph, backend: Optional[Backend] = None) -> str:
+    """Short stable content hash identifying one instance.
+
+    Carried by structured :class:`~repro.exceptions.ConvergenceError` /
+    :class:`~repro.exceptions.NumericalInstabilityError` so a failure
+    surfaced deep inside a sweep names the exact instance that produced it
+    -- two cells over the same graph report the same signature, and the
+    signature survives pickling across worker processes (unlike ``id()``).
+    Floats hash by their exact hex form, so one-ulp-distinct instances get
+    distinct signatures.
+    """
+    def canon(x):
+        return x.hex() if isinstance(x, float) else repr(x)
+
+    parts = [str(g.n)]
+    parts.extend(f"{u},{v}" for u, v in g.edges)
+    parts.extend(canon(w) for w in g.weights)
+    if backend is not None:
+        parts.append(backend.name)
+        parts.append(canon(backend.tol))
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
+    return digest[:12]
 
 
 class DecompositionCache:

@@ -20,11 +20,12 @@ config-threading discipline as sysml_fair_verif's ``ModelConfig``.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Optional
 
-from ..exceptions import EngineError
+from ..exceptions import EngineError, NumericalInstabilityError
 from ..flow.network import FlowNetwork
 from ..numeric import Backend, FLOAT
 from .cache import DecompositionCache
@@ -37,7 +38,26 @@ __all__ = [
     "default_context",
     "resolve_context",
     "using_context",
+    "set_flow_fault_hook",
 ]
+
+#: Process-global fault-injection hook on the flow boundary, installed by
+#: :mod:`repro.runtime.faults` (``None`` = zero overhead beyond one load).
+#: Lives here rather than on the context so ``engine`` stays an
+#: import-graph leaf while every solve -- whichever context routed it --
+#: passes through the same deterministic injection point.
+_FLOW_FAULT_HOOK: Optional[Callable] = None
+
+
+def set_flow_fault_hook(hook: Optional[Callable]) -> None:
+    """Install (or clear, with ``None``) the flow-value fault hook.
+
+    The hook receives each solved flow value and returns the (possibly
+    corrupted) value to hand back, or raises.  Only the fault-injection
+    layer should call this.
+    """
+    global _FLOW_FAULT_HOOK
+    _FLOW_FAULT_HOOK = hook
 
 #: Default LRU capacity; a sweep instance produces tens of distinct
 #: decompositions, so 1024 spans many instances without unbounded growth.
@@ -119,6 +139,12 @@ class EngineContext:
     #: ``on_flow`` / ``on_decomposition`` / ``on_allocation`` /
     #: ``on_best_response`` methods qualifies.
     auditor: object = field(default=None, repr=False)
+    #: Optional supervised-execution policy (see
+    #: :class:`repro.runtime.RuntimePolicy`).  Loosely typed for the same
+    #: leaf-package reason as ``auditor``; consumers read it via
+    #: ``getattr(ctx, "runtime", None)`` semantics and fall back to the
+    #: unsupervised legacy behavior when absent.
+    runtime: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -157,6 +183,19 @@ class EngineContext:
         self.counters.flow_calls += 1
         tol = self.zero_tol if zero_tol is None else zero_tol
         value = entry.fn(net, s, t, tol)
+        if _FLOW_FAULT_HOOK is not None:
+            value = _FLOW_FAULT_HOOK(value)
+        # Graceful-degradation boundary: every solve's value must be finite
+        # (source arcs have finite capacity in every network we build), so a
+        # NaN/Inf here is float overflow on an extreme instance -- raise the
+        # typed, escalatable error instead of letting the NaN propagate into
+        # alphas and allocations as a silent wrong answer.
+        if isinstance(value, float) and not math.isfinite(value):
+            raise NumericalInstabilityError(
+                f"max-flow value {value!r} is not finite "
+                f"(solver {entry.name}, n={net.n}, s={s}, t={t}); "
+                f"the instance needs the exact backend"
+            )
         if self.auditor is not None:
             self.auditor.on_flow(self, net, s, t, value, tol, entry)
         return value

@@ -33,6 +33,15 @@ class Counters:
     ``audit_differential_checks`` counts re-solves against independent
     oracles, ``audit_disagreements`` the differential mismatches, and
     ``audit_violations`` every failed audit of any kind.
+
+    The runtime family is written by :mod:`repro.runtime`: ``cell_retries``
+    counts supervised re-runs of failed cells, ``cell_timeouts`` cells whose
+    worker blew the wall-clock budget and was killed, ``worker_respawns``
+    replacement workers started after a kill or crash,
+    ``precision_escalations`` cells re-run under the exact ``Fraction``
+    backend after a typed numeric failure, ``injected_faults`` deterministic
+    faults fired by ``--inject-faults``, and ``checkpoint_hits`` cells
+    served from a resume journal instead of recomputed.
     """
 
     flow_calls: int = 0
@@ -47,6 +56,12 @@ class Counters:
     audit_differential_checks: int = 0
     audit_disagreements: int = 0
     audit_violations: int = 0
+    cell_retries: int = 0
+    cell_timeouts: int = 0
+    worker_respawns: int = 0
+    precision_escalations: int = 0
+    injected_faults: int = 0
+    checkpoint_hits: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -74,6 +89,12 @@ class Counters:
             "audit_differential_checks": self.audit_differential_checks,
             "audit_disagreements": self.audit_disagreements,
             "audit_violations": self.audit_violations,
+            "cell_retries": self.cell_retries,
+            "cell_timeouts": self.cell_timeouts,
+            "worker_respawns": self.worker_respawns,
+            "precision_escalations": self.precision_escalations,
+            "injected_faults": self.injected_faults,
+            "checkpoint_hits": self.checkpoint_hits,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -90,6 +111,12 @@ class Counters:
         self.audit_differential_checks = 0
         self.audit_disagreements = 0
         self.audit_violations = 0
+        self.cell_retries = 0
+        self.cell_timeouts = 0
+        self.worker_respawns = 0
+        self.precision_escalations = 0
+        self.injected_faults = 0
+        self.checkpoint_hits = 0
         self.phase_seconds = {}
 
     def merge(self, other: "Counters") -> None:
@@ -106,5 +133,11 @@ class Counters:
         self.audit_differential_checks += other.audit_differential_checks
         self.audit_disagreements += other.audit_disagreements
         self.audit_violations += other.audit_violations
+        self.cell_retries += other.cell_retries
+        self.cell_timeouts += other.cell_timeouts
+        self.worker_respawns += other.worker_respawns
+        self.precision_escalations += other.precision_escalations
+        self.injected_faults += other.injected_faults
+        self.checkpoint_hits += other.checkpoint_hits
         for phase, secs in other.phase_seconds.items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + secs

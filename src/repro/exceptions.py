@@ -17,11 +17,21 @@ __all__ = [
     "DecompositionError",
     "AllocationError",
     "ConvergenceError",
+    "NumericalInstabilityError",
     "AttackError",
     "EngineError",
     "ExperimentError",
     "AuditError",
     "CorpusError",
+    "RuntimeSupervisionError",
+    "InjectedFault",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "RemoteCellError",
+    "CellFailedError",
+    "CheckpointError",
+    "is_retryable",
+    "is_escalatable",
 ]
 
 
@@ -59,7 +69,52 @@ class AllocationError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """Proportional response dynamics failed to converge within budget."""
+    """An iterative solve exceeded its iteration budget.
+
+    Raised by the proportional response dynamics and the Dinkelbach
+    parametric iteration.  Structured so the runtime supervisor can act on
+    it: ``signature`` identifies the instance (a stable content hash,
+    re-derivable from the graph), ``residual`` is the last observed
+    convergence gap, and ``iterations`` the budget that was exhausted.
+    The error is *retryable* and *escalatable* (see :func:`is_retryable` /
+    :func:`is_escalatable`): a cell that fails to converge in floats is
+    re-run under the exact ``Fraction`` backend.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        signature: str | None = None,
+        residual: float | None = None,
+        iterations: int | None = None,
+    ) -> None:
+        detail = message
+        if signature is not None:
+            detail += f" [instance {signature}]"
+        if residual is not None:
+            detail += f" (residual {residual:g})"
+        super().__init__(detail)
+        self.signature = signature
+        self.residual = residual
+        self.iterations = iterations
+
+
+class NumericalInstabilityError(ReproError):
+    """A NaN or infinity surfaced where the theory guarantees a finite value.
+
+    The canonical producer is float overflow on extreme instances (weights
+    near ``1e308`` overflow the parametric capacities ``lambda * w`` and the
+    weight sums, so the decomposition silently computes ``alpha = nan`` --
+    see ``corpus/decomposition-*`` for the witnessed class).  The engine
+    raises this *typed* error at the flow boundary instead of letting the
+    NaN propagate into results; the supervisor treats it as escalatable and
+    retries the cell under exact arithmetic, where no overflow exists.
+    """
+
+    def __init__(self, message: str, signature: str | None = None) -> None:
+        super().__init__(message if signature is None
+                         else f"{message} [instance {signature}]")
+        self.signature = signature
 
 
 class AttackError(ReproError):
@@ -89,3 +144,100 @@ class AuditError(ReproError):
 
 class CorpusError(ReproError):
     """A failure-corpus record is missing, malformed, or unreplayable."""
+
+
+# ---------------------------------------------------------------------------
+# runtime supervision (see repro.runtime)
+# ---------------------------------------------------------------------------
+
+class RuntimeSupervisionError(ReproError):
+    """Base class for the supervised-execution layer's own failures."""
+
+
+class InjectedFault(RuntimeSupervisionError):
+    """A deterministic fault fired by :mod:`repro.runtime.faults`.
+
+    Only ever raised when fault injection is explicitly configured
+    (``--inject-faults``); retryable so a supervised run recovers and
+    produces output bit-identical to a fault-free run.
+    """
+
+    def __init__(self, message: str, site: str = "", rule: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+        self.rule = rule
+
+
+class WorkerTimeoutError(RuntimeSupervisionError):
+    """A cell exceeded its wall-clock budget and its worker was killed."""
+
+
+class WorkerCrashError(RuntimeSupervisionError):
+    """A worker process died (OOM kill, segfault, injected kill) mid-cell."""
+
+
+class RemoteCellError(RuntimeSupervisionError):
+    """A worker-side exception, reconstructed on the supervisor side.
+
+    Worker exceptions cross the result queue as plain metadata (type name,
+    message, retryability flags) rather than pickled objects, so a failure
+    in *any* exception type -- including ones that do not pickle -- is
+    reported faithfully.
+    """
+
+    def __init__(self, type_name: str, message: str,
+                 retryable: bool, escalatable: bool) -> None:
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
+        self.retryable = retryable
+        self.escalatable = escalatable
+
+
+class CellFailedError(RuntimeSupervisionError):
+    """A cell failed permanently: retries (and escalation) exhausted."""
+
+    def __init__(self, index: int, cause: Exception) -> None:
+        super().__init__(f"cell {index} failed after retries: "
+                         f"{type(cause).__name__}: {cause}")
+        self.index = index
+        self.cause = cause
+
+
+class CheckpointError(RuntimeSupervisionError):
+    """A checkpoint journal is unreadable or belongs to a different sweep."""
+
+
+#: Exception types a supervised retry can plausibly fix: injected faults
+#: and infrastructure failures (timeout, crash) are transient by
+#: construction; the numeric family is deterministic but *escalatable*.
+_RETRYABLE = (
+    ConvergenceError,
+    NumericalInstabilityError,
+    AuditError,
+    InjectedFault,
+    WorkerTimeoutError,
+    WorkerCrashError,
+)
+
+#: The subset of retryable failures where a plain retry cannot help but a
+#: precision escalation (exact ``Fraction`` backend) can: the failure is a
+#: deterministic artifact of float arithmetic or a violated invariant.
+_ESCALATABLE = (
+    ConvergenceError,
+    NumericalInstabilityError,
+    AuditError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when the supervisor should re-run the failed cell."""
+    if isinstance(exc, RemoteCellError):
+        return exc.retryable
+    return isinstance(exc, _RETRYABLE)
+
+
+def is_escalatable(exc: BaseException) -> bool:
+    """True when the failed cell should be re-run under exact arithmetic."""
+    if isinstance(exc, RemoteCellError):
+        return exc.escalatable
+    return isinstance(exc, _ESCALATABLE)

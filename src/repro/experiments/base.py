@@ -15,9 +15,18 @@ from typing import Optional, Sequence
 from ..engine import EngineContext, resolve_context
 from ..exceptions import ExperimentError
 from ..io.tables import format_table
+from ..runtime import decode_value, encode_value
 from ..theory import CheckResult
 
-__all__ = ["Table", "ExperimentOutput", "scale_factor", "experiment_context", "format_engine_stats"]
+__all__ = [
+    "Table",
+    "ExperimentOutput",
+    "scale_factor",
+    "experiment_context",
+    "format_engine_stats",
+    "encode_output",
+    "decode_output",
+]
 
 _SCALES = ("smoke", "default", "full")
 
@@ -53,6 +62,18 @@ def format_engine_stats(stats: dict) -> str:
             f"differential={stats.get('audit_differential_checks', 0)} "
             f"disagreements={stats.get('audit_disagreements', 0)} "
             f"violations={stats.get('audit_violations', 0)}"
+        )
+    runtime_keys = (
+        ("cell_retries", "retries"),
+        ("cell_timeouts", "timeouts"),
+        ("worker_respawns", "respawns"),
+        ("precision_escalations", "escalations"),
+        ("injected_faults", "injected"),
+        ("checkpoint_hits", "checkpoint hits"),
+    )
+    if any(stats.get(k) for k, _ in runtime_keys):
+        audit += " | runtime: " + " ".join(
+            f"{label}={stats.get(k, 0)}" for k, label in runtime_keys
         )
     return (
         f"engine: solver={stats.get('solver')} backend={stats.get('backend')} | "
@@ -103,3 +124,48 @@ class ExperimentOutput:
         if stats and self.engine_stats is not None:
             parts.append(format_engine_stats(self.engine_stats))
         return "\n\n".join(parts)
+
+
+def encode_output(out: ExperimentOutput) -> dict:
+    """Checkpoint-safe encoding of an :class:`ExperimentOutput`.
+
+    Scalars go through the runtime's bit-exact tagged encoding (floats as
+    hex, Fractions as ``p/q``), so a decoded output renders and compares
+    identically to the one the experiment produced -- the property the
+    experiment-level resume journal depends on.
+    """
+    return {
+        "exp_id": out.exp_id,
+        "title": out.title,
+        "tables": encode_value([
+            {"title": t.title, "headers": list(t.headers),
+             "rows": [list(r) for r in t.rows]}
+            for t in out.tables
+        ]),
+        "checks": encode_value([
+            {"name": c.name, "ok": c.ok, "details": c.details, "data": c.data}
+            for c in out.checks
+        ]),
+        "data": encode_value(out.data),
+        "engine_stats": encode_value(out.engine_stats),
+    }
+
+
+def decode_output(obj: dict) -> ExperimentOutput:
+    """Inverse of :func:`encode_output` (tuples round-trip as lists)."""
+    tables = [
+        Table(title=t["title"], headers=t["headers"], rows=t["rows"])
+        for t in decode_value(obj["tables"])
+    ]
+    checks = [
+        CheckResult(name=c["name"], ok=c["ok"], details=c["details"], data=c["data"])
+        for c in decode_value(obj["checks"])
+    ]
+    return ExperimentOutput(
+        exp_id=obj["exp_id"],
+        title=obj["title"],
+        tables=tables,
+        checks=checks,
+        data=decode_value(obj["data"]),
+        engine_stats=decode_value(obj["engine_stats"]),
+    )

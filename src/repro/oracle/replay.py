@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..engine import SOLVERS, EngineContext, SolverRegistry
-from ..exceptions import CorpusError, ReproError
+from ..exceptions import (
+    ConvergenceError,
+    CorpusError,
+    NumericalInstabilityError,
+    ReproError,
+)
 from ..io.serialization import graph_from_dict, network_from_dict
 from .corpus import FailureCorpus, FailureRecord, backend_from_dict
 from .differential import (
@@ -86,6 +91,15 @@ def replay_record(
             raise CorpusError(f"unknown record kind {rec.kind!r}")
     except CorpusError:
         raise
+    except (ConvergenceError, NumericalInstabilityError):
+        # Typed graceful degradation, not a reproduction: the engine now
+        # *detects* the degeneracy (NaN/Inf flow value, non-convergent
+        # iteration) and raises a structured, retryable error where it
+        # historically returned silently wrong numbers.  The failure the
+        # record witnessed -- bad output passing as good -- can no longer
+        # manifest, so the record is clean; the supervisor's retry and
+        # exact-backend escalation handle the raise at runtime.
+        problems = []
     except ReproError as exc:
         # The recorded call itself still blows up -- strongest reproduction.
         problems = [f"{type(exc).__name__}: {exc}"]

@@ -1,0 +1,69 @@
+"""Fault-tolerant supervised execution for sweeps and experiments.
+
+The runtime layer wraps the library's embarrassingly-parallel work units
+(sweep cells, experiments) in a supervision loop that preserves the
+bit-identical determinism contract while surviving the failures long runs
+actually hit: hung solver iterations, OOM-killed workers, transient
+numeric breakdown, and operator kills mid-sweep.
+
+Four cooperating pieces:
+
+* :class:`RuntimePolicy` (:mod:`repro.runtime.policy`) -- the frozen knob
+  set (timeout, retries, backoff, start method, checkpoint, fault spec)
+  that travels from the CLI onto ``EngineContext.runtime`` and down into
+  the sweep layer.  The default policy is inert: nothing changes until a
+  knob is turned.
+* :func:`supervised_map` (:mod:`repro.runtime.supervisor`) -- the
+  order-preserving map that imposes per-cell wall-clock budgets, respawns
+  dead workers, retries retryable failures with capped exponential
+  backoff, escalates exhausted numeric failures to the exact backend, and
+  degrades to serial in-process execution when the pool is unrecoverable.
+* :class:`CheckpointJournal` (:mod:`repro.runtime.checkpoint`) -- the
+  append-only, fsynced, bit-exact journal that lets a killed run resume
+  without recomputing (or perturbing) completed cells.
+* :class:`FaultInjector` (:mod:`repro.runtime.faults`) -- deterministic
+  fault injection keyed by work indices and per-process flow counts, so
+  every recovery path above is exercised reproducibly in tests and the
+  chaos CI job.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointJournal,
+    decode_value,
+    encode_value,
+    open_journal,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    clear_injector,
+    current_injector,
+    fire_site,
+    install_injector,
+    parse_fault_spec,
+)
+from .policy import START_METHODS, RuntimePolicy, resolve_policy
+from .supervisor import run_cell, supervised_map
+
+__all__ = [
+    "RuntimePolicy",
+    "resolve_policy",
+    "START_METHODS",
+    "supervised_map",
+    "run_cell",
+    "CheckpointJournal",
+    "open_journal",
+    "encode_value",
+    "decode_value",
+    "CHECKPOINT_FORMAT",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_spec",
+    "install_injector",
+    "clear_injector",
+    "current_injector",
+    "fire_site",
+]

@@ -1,0 +1,215 @@
+"""Append-only checkpoint journal for resumable sweeps.
+
+A journal is a JSON-lines file: one header line carrying a format version
+and a *fingerprint* of the work it belongs to (seed, scale, solver,
+backend, grid, instance hashes -- whatever the producer folds in), then
+one ``{"k": key, "v": encoded-value}`` line per completed cell, flushed
+and fsynced as it lands so a ``kill -9`` loses at most the cell in
+flight.  Values round-trip **bit-exactly**: floats serialize as hex (the
+same discipline as :mod:`repro.io.serialization`), Fractions as ``"p/q"``,
+and containers recursively -- a resumed sweep's results are
+indistinguishable from an uninterrupted run's.
+
+Resume safety: opening an existing journal with a different fingerprint
+raises :class:`~repro.exceptions.CheckpointError` instead of silently
+mixing cells of two different sweeps.  A torn final line (the in-flight
+write at kill time) is detected and ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+from fractions import Fraction
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..exceptions import CheckpointError
+
+__all__ = ["CHECKPOINT_FORMAT", "CheckpointJournal", "encode_value",
+           "decode_value", "open_journal"]
+
+#: Journal format version; bump on incompatible schema changes.
+CHECKPOINT_FORMAT = 1
+
+
+def encode_value(value):
+    """Encode ``value`` into a JSON-safe, bit-exact tagged form.
+
+    Tags: ``["f", hex]`` float, ``["q", "p/q"]`` Fraction, ``["i", n]``
+    int, ``["s", str]``, ``["b", bool]``, ``["z"]`` None, ``["l", [...]]``
+    list/tuple, ``["m", [[k, v], ...]]`` dict (string keys).  NumPy scalars
+    are folded into their Python equivalents (exactly -- float64 shares the
+    IEEE double representation); arrays encode as lists.
+    """
+    if value is None:
+        return ["z"]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, str):
+        return ["s", value]
+    if isinstance(value, Fraction):
+        return ["q", f"{value.numerator}/{value.denominator}"]
+    if isinstance(value, float):  # catches numpy float64 (a float subclass)
+        return ["f", float(value).hex()]
+    if isinstance(value, numbers.Integral):
+        return ["i", int(value)]
+    if isinstance(value, numbers.Real):  # numpy float32 and friends
+        return ["f", float(value).hex()]
+    if isinstance(value, dict):
+        items = []
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise CheckpointError(
+                    f"checkpoint dict keys must be strings, got {k!r}"
+                )
+            items.append([k, encode_value(v)])
+        return ["m", items]
+    if isinstance(value, (list, tuple)) or type(value).__name__ == "ndarray":
+        return ["l", [encode_value(v) for v in value]]
+    raise CheckpointError(f"cannot checkpoint value of type {type(value).__name__}")
+
+
+def decode_value(obj):
+    """Inverse of :func:`encode_value`."""
+    try:
+        tag = obj[0]
+        if tag == "z":
+            return None
+        if tag == "b":
+            return bool(obj[1])
+        if tag == "s":
+            return obj[1]
+        if tag == "q":
+            num, den = obj[1].split("/")
+            return Fraction(int(num), int(den))
+        if tag == "f":
+            return float.fromhex(obj[1])
+        if tag == "i":
+            return int(obj[1])
+        if tag == "l":
+            return [decode_value(v) for v in obj[1]]
+        if tag == "m":
+            return {k: decode_value(v) for k, v in obj[1]}
+    except (TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(f"malformed checkpoint value {obj!r}: {exc}") from exc
+    raise CheckpointError(f"unknown checkpoint value tag {obj!r}")
+
+
+class CheckpointJournal:
+    """One append-only journal, keyed by opaque string cell keys.
+
+    Open with :meth:`open`, which loads any completed cells from a prior
+    (possibly killed) run after verifying the fingerprint.  ``record`` is
+    durable on return (flush + fsync) so the journal never claims a cell
+    that was not fully computed.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.done: dict[str, object] = {}
+        self._fh = None
+
+    # -- lifecycle --------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path, fingerprint: str) -> "CheckpointJournal":
+        journal = cls(path, fingerprint)
+        if journal.path.exists():
+            journal._load_existing()
+        else:
+            journal.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(journal.path, "w") as fh:
+                fh.write(json.dumps(
+                    {"format": CHECKPOINT_FORMAT, "fingerprint": fingerprint},
+                    separators=(",", ":"),
+                ) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        journal._fh = open(journal.path, "a")
+        return journal
+
+    def _load_existing(self) -> None:
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            raise CheckpointError(f"checkpoint {self.path} is empty (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} has a malformed header: {exc}"
+            ) from exc
+        fmt = header.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {self.path} has format {fmt!r}; supported: "
+                f"{CHECKPOINT_FORMAT}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different run "
+                f"(fingerprint {header.get('fingerprint')!r} != "
+                f"{self.fingerprint!r}); refusing to resume"
+            )
+        for i, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                self.done[entry["k"]] = decode_value(entry["v"])
+            except (json.JSONDecodeError, KeyError, CheckpointError):
+                if i == len(lines):
+                    # Torn final line: the write in flight when the run was
+                    # killed.  Drop it; the cell will be recomputed.
+                    break
+                raise CheckpointError(
+                    f"checkpoint {self.path} line {i} is corrupt mid-file"
+                )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- access -----------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self.done
+
+    def get(self, key: str):
+        return self.done.get(key)
+
+    def __len__(self) -> int:
+        return len(self.done)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self.done)
+
+    def record(self, key: str, value) -> None:
+        """Durably append one completed cell (idempotent per key)."""
+        if key in self.done:
+            return
+        if self._fh is None:
+            raise CheckpointError(f"checkpoint {self.path} is not open for writing")
+        self.done[key] = value
+        self._fh.write(json.dumps(
+            {"k": key, "v": encode_value(value)}, separators=(",", ":")
+        ) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+
+def open_journal(
+    path: Optional[str | Path], fingerprint: str
+) -> Optional[CheckpointJournal]:
+    """``CheckpointJournal.open`` that forwards ``None`` (no checkpointing)."""
+    if path is None:
+        return None
+    return CheckpointJournal.open(path, fingerprint)

@@ -1,0 +1,253 @@
+"""Deterministic fault injection for testing every recovery path.
+
+A fault *spec* is a compact string -- e.g. ``"cell:exc@3;worker:kill@5;
+flow:nan@40;cell:hang@7:30"`` -- parsed into a frozen :class:`FaultPlan` of
+:class:`FaultRule` entries ``site:kind@n[:param]``:
+
+========  ======================  =======================================
+site      keyed by                kinds
+========  ======================  =======================================
+``exp``   experiment index        ``exc``, ``delay``
+``cell``  sweep-cell index        ``exc``, ``hang``, ``delay``
+``worker``sweep-cell index        ``kill``
+``flow``  per-process flow-call   ``nan``, ``exc``
+          count
+========  ======================  =======================================
+
+Determinism is the whole point: ``exp``/``cell``/``worker`` rules match an
+*index the caller passes in* (the experiment's registry position, the
+cell's submission index), so they fire on the same logical unit of work
+regardless of process scheduling; ``flow`` rules count solves within one
+process, which is deterministic for serial runs and replay.  Every rule
+fires at most once per injector and only on a cell's *first* attempt, so a
+supervised run with ``retries >= 1`` recovers and produces output
+bit-identical to a fault-free run -- the property the chaos CI job pins.
+
+Kinds map to the failure they simulate: ``exc`` raises
+:class:`~repro.exceptions.InjectedFault` (a generic retryable crash),
+``hang`` sleeps past any sane timeout inside a worker (param = seconds,
+default 3600) and *simulates* the resulting kill with
+:class:`~repro.exceptions.WorkerTimeoutError` when there is no worker to
+hang, ``delay`` sleeps param seconds (default 0.05) and continues,
+``kill`` hard-exits the worker process (``os._exit``; simulated as
+:class:`~repro.exceptions.WorkerCrashError` serially), and ``nan``
+corrupts the next matching flow value to ``float("nan")`` so the engine's
+finite-value check trips.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine import set_flow_fault_hook
+from ..exceptions import (
+    EngineError,
+    InjectedFault,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_spec",
+    "install_injector",
+    "clear_injector",
+    "current_injector",
+    "fire_site",
+]
+
+SITES = ("exp", "cell", "worker", "flow")
+_KINDS_BY_SITE = {
+    "exp": ("exc", "delay"),
+    "cell": ("exc", "hang", "delay"),
+    "worker": ("kill",),
+    "flow": ("nan", "exc"),
+}
+#: Sites matched against a caller-supplied index (vs a per-process count).
+_INDEX_SITES = ("exp", "cell", "worker")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: fire ``kind`` at occurrence/index ``n``."""
+
+    site: str
+    kind: str
+    n: int
+    param: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise EngineError(f"unknown fault site {self.site!r}; known: {SITES}")
+        if self.kind not in _KINDS_BY_SITE[self.site]:
+            raise EngineError(
+                f"fault kind {self.kind!r} not valid at site {self.site!r} "
+                f"(valid: {_KINDS_BY_SITE[self.site]})"
+            )
+        if self.n < 0:
+            raise EngineError(f"fault position must be >= 0, got {self.n}")
+
+    def render(self) -> str:
+        base = f"{self.site}:{self.kind}@{self.n}"
+        return base if self.param is None else f"{base}:{self.param:g}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed, picklable fault-injection plan."""
+
+    rules: tuple[FaultRule, ...] = ()
+
+    def render(self) -> str:
+        return ";".join(r.render() for r in self.rules)
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse ``site:kind@n[:param]`` clauses separated by ``;`` or ``,``."""
+    rules: list[FaultRule] = []
+    for clause in spec.replace(",", ";").split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        try:
+            site_kind, _, pos = clause.partition("@")
+            site, _, kind = site_kind.partition(":")
+            if not pos or not kind:
+                raise ValueError("missing '@' position or ':' kind")
+            pos_part, _, param_part = pos.partition(":")
+            n = int(pos_part)
+            param = float(param_part) if param_part else None
+        except ValueError as exc:
+            raise EngineError(
+                f"malformed fault clause {clause!r} "
+                f"(expected site:kind@n[:param]): {exc}"
+            ) from exc
+        rules.append(FaultRule(site=site.strip(), kind=kind.strip(), n=n, param=param))
+    if not rules:
+        raise EngineError(f"fault spec {spec!r} contains no rules")
+    return FaultPlan(rules=tuple(rules))
+
+
+class FaultInjector:
+    """Stateful per-process executor of one :class:`FaultPlan`.
+
+    ``in_worker`` selects the physical behavior of ``kill``/``hang``
+    (actually exit / actually sleep) versus the serial simulation (raise
+    the error the supervisor would have synthesized).  ``counters`` is an
+    optional :class:`~repro.engine.Counters` whose ``injected_faults``
+    field tallies every fired rule; worker-process tallies are local and
+    discarded, same as all worker counters.
+    """
+
+    def __init__(self, plan: FaultPlan, in_worker: bool = False, counters=None) -> None:
+        self.plan = plan
+        self.in_worker = in_worker
+        self.counters = counters
+        self._fired: set[FaultRule] = set()
+        self._counts: dict[str, int] = {}
+
+    # -- matching ---------------------------------------------------------
+    def _match(self, site: str, index: Optional[int]) -> Optional[FaultRule]:
+        if site in _INDEX_SITES:
+            key = index
+        else:
+            self._counts[site] = self._counts.get(site, 0) + 1
+            key = self._counts[site]
+        if key is None:
+            return None
+        for rule in self.plan.rules:
+            if rule.site == site and rule.n == key and rule not in self._fired:
+                return rule
+        return None
+
+    def _record(self, rule: FaultRule) -> None:
+        self._fired.add(rule)
+        if self.counters is not None:
+            self.counters.injected_faults += 1
+
+    # -- firing -----------------------------------------------------------
+    def fire(self, site: str, index: Optional[int] = None, attempt: int = 0) -> None:
+        """Fire any matching rule at ``site``.
+
+        Rules only trigger on ``attempt == 0`` so retried work always runs
+        clean -- the invariant that makes injected faults recoverable.  A
+        rule that already fired stays consumed for the injector's lifetime
+        (one process, or one supervised pool's worker).
+        """
+        rule = self._match(site, index)
+        if rule is None or attempt != 0:
+            return
+        self._record(rule)
+        if rule.kind == "exc":
+            raise InjectedFault(
+                f"injected fault at {rule.render()}", site=site, rule=rule.render()
+            )
+        if rule.kind == "delay":
+            time.sleep(rule.param if rule.param is not None else 0.05)
+            return
+        if rule.kind == "hang":
+            if self.in_worker:
+                time.sleep(rule.param if rule.param is not None else 3600.0)
+                return
+            raise WorkerTimeoutError(
+                f"injected hang at {rule.render()} (serial simulation)"
+            )
+        if rule.kind == "kill":
+            if self.in_worker:
+                os._exit(17)
+            raise WorkerCrashError(
+                f"injected worker kill at {rule.render()} (serial simulation)"
+            )
+
+    def corrupt_flow(self, value):
+        """Flow-boundary hook (installed via the engine's fault hook)."""
+        rule = self._match("flow", None)
+        if rule is None:
+            return value
+        self._record(rule)
+        if rule.kind == "exc":
+            raise InjectedFault(
+                f"injected fault at {rule.render()}", site="flow", rule=rule.render()
+            )
+        return float("nan")
+
+
+#: The process-global injector (``None`` = injection disabled).
+_CURRENT: Optional[FaultInjector] = None
+
+
+def install_injector(
+    plan: FaultPlan, in_worker: bool = False, counters=None
+) -> FaultInjector:
+    """Build an injector from ``plan``, install it process-globally, and
+    wire its flow hook into the engine.  Returns the injector."""
+    global _CURRENT
+    injector = FaultInjector(plan, in_worker=in_worker, counters=counters)
+    _CURRENT = injector
+    set_flow_fault_hook(injector.corrupt_flow)
+    return injector
+
+
+def clear_injector() -> None:
+    """Remove any installed injector and detach the engine flow hook."""
+    global _CURRENT
+    _CURRENT = None
+    set_flow_fault_hook(None)
+
+
+def current_injector() -> Optional[FaultInjector]:
+    return _CURRENT
+
+
+def fire_site(site: str, index: Optional[int] = None, attempt: int = 0) -> None:
+    """Fire ``site`` on the installed injector, if any (no-op otherwise)."""
+    if _CURRENT is not None:
+        _CURRENT.fire(site, index=index, attempt=attempt)

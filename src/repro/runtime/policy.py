@@ -1,0 +1,120 @@
+"""Runtime supervision policy: the knobs of fault-tolerant execution.
+
+One frozen :class:`RuntimePolicy` travels from the CLI (``--timeout``,
+``--retries``, ``--checkpoint``, ``--inject-faults``) onto the
+:class:`~repro.engine.EngineContext` (its loosely-typed ``runtime`` field)
+and down into :func:`repro.runtime.supervised_map` and the sweep layer.
+The default policy is deliberately inert -- no timeout, no retries, no
+checkpoint, no faults -- so call sites that never configure one keep the
+pre-supervision behavior bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..exceptions import EngineError
+
+__all__ = ["RuntimePolicy", "resolve_policy", "START_METHODS"]
+
+#: Multiprocessing start methods the supervisor accepts.  ``fork`` is the
+#: historical (and fastest) default on Linux; ``spawn`` is the portable
+#: choice and the only one available everywhere.
+START_METHODS = ("fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """Configuration of the supervised execution layer.
+
+    Parameters
+    ----------
+    timeout:
+        Per-cell wall-clock budget in seconds; a worker that exceeds it is
+        killed and the cell retried.  ``None`` disables timeouts.
+    retries:
+        How many times a retryable cell failure is re-run before the
+        supervisor gives up (escalating numeric failures to the exact
+        backend first, see ``escalate``).
+    backoff_base / backoff_cap:
+        Capped exponential backoff between retries of the same cell:
+        attempt ``k`` waits ``min(cap, base * 2**(k-1))`` seconds.
+    start_method:
+        Explicit multiprocessing start method (satellite of the historical
+        ``parallel_map`` docstring/behavior mismatch: the method is now
+        named, validated, and configurable rather than silently ``fork``).
+    poll_interval:
+        Supervisor result-queue poll period; also bounds how stale a
+        timeout detection can be.
+    escalate:
+        When True, a cell whose failure is escalatable (non-convergence,
+        NaN/Inf instability, audit violation) and whose retries are
+        exhausted is re-run once under the exact ``Fraction`` backend.
+    checkpoint:
+        Path of the append-only resume journal (``None`` = no journal).
+    faults:
+        Deterministic fault-injection spec string (see
+        :mod:`repro.runtime.faults`); ``None`` = no injection.
+    max_pool_failures:
+        Consecutive worker deaths without a single completed cell before
+        the supervisor declares the pool unrecoverable and degrades to
+        serial in-process execution.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    start_method: str = "fork"
+    poll_interval: float = 0.02
+    escalate: bool = True
+    checkpoint: Optional[str] = None
+    faults: Optional[str] = None
+    max_pool_failures: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise EngineError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise EngineError(f"retries must be >= 0, got {self.retries}")
+        if self.start_method not in START_METHODS:
+            raise EngineError(
+                f"start_method must be one of {START_METHODS}, got {self.start_method!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise EngineError("backoff parameters must be non-negative")
+        if self.poll_interval <= 0:
+            raise EngineError("poll_interval must be positive")
+        if self.max_pool_failures < 1:
+            raise EngineError("max_pool_failures must be >= 1")
+
+    @property
+    def supervised(self) -> bool:
+        """True when any knob differs from the inert default, i.e. cells
+        must route through the supervisor rather than the legacy paths."""
+        return (
+            self.timeout is not None
+            or self.retries > 0
+            or self.checkpoint is not None
+            or self.faults is not None
+        )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+
+    def with_checkpoint(self, path: Optional[str]) -> "RuntimePolicy":
+        return replace(self, checkpoint=path)
+
+
+def resolve_policy(ctx, policy: Optional[RuntimePolicy] = None) -> RuntimePolicy:
+    """The explicit ``policy``, else the context's, else the inert default."""
+    if policy is not None:
+        return policy
+    attached = getattr(ctx, "runtime", None)
+    if isinstance(attached, RuntimePolicy):
+        return attached
+    return RuntimePolicy()

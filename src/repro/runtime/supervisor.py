@@ -1,0 +1,454 @@
+"""Supervised map: timeouts, retries, respawn, degradation, escalation.
+
+:func:`supervised_map` is the fault-tolerant replacement for the bare
+``Pool.map`` the sweep layer used to run on.  It preserves the layer's
+load-bearing contract -- results come back **in submission order** and are
+**bit-identical** to a serial run -- while adding the four recovery
+behaviors the ``full``-scale sweeps need to survive a night:
+
+* **timeouts** -- each cell gets a wall-clock budget; a worker that blows
+  it is killed (SIGTERM, then SIGKILL) and replaced;
+* **retries with capped exponential backoff** -- retryable failures
+  (injected faults, worker deaths, typed numeric errors) re-run the cell
+  up to ``policy.retries`` times;
+* **precision escalation** -- a cell whose failure is *escalatable*
+  (Dinkelbach/fixed-point non-convergence, NaN/Inf instability, audit
+  violation) and whose float retries are exhausted is re-run once through
+  ``escalate_fn`` (by convention: the exact ``Fraction`` backend);
+* **graceful degradation** -- when the pool is unrecoverable (workers die
+  repeatedly without completing a single cell, or spawning fails), the
+  supervisor falls back to guarded serial execution in-process rather
+  than failing the sweep.
+
+Workers are plain ``multiprocessing.Process`` loops with one task queue
+and one result queue **each**, so the supervisor always knows exactly
+which cell a dead or hung worker was holding and can requeue precisely
+that cell.  Per-worker result queues are load-bearing, not a convenience:
+with a single shared result queue, a worker killed in the narrow window
+where its queue-feeder thread holds the shared write lock leaves that
+lock acquired forever, wedging every *other* worker's ``put`` -- the
+whole pool stalls on one death.  Private queues confine the damage to the
+dying worker's own pipe, whose in-flight cell is requeued anyway (and
+result messages are small enough that pipe writes stay atomic, so the
+supervisor never reads a torn frame).  Worker-side exceptions cross the
+result queue as metadata (never pickled exception objects), and an
+optional checkpoint journal records each completed cell durably, in
+completion order, keyed by submission index.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence, TypeVar
+
+from ..engine import Counters
+from ..exceptions import (
+    CellFailedError,
+    RemoteCellError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    is_escalatable,
+    is_retryable,
+)
+from .checkpoint import CheckpointJournal
+from .faults import current_injector, install_injector, parse_fault_spec
+from .policy import RuntimePolicy
+
+__all__ = ["supervised_map", "run_cell"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# ---------------------------------------------------------------------------
+# guarded single-cell execution (shared by the serial path and degradation)
+# ---------------------------------------------------------------------------
+
+def run_cell(
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    policy: RuntimePolicy,
+    counters: Counters,
+    escalate_fn: Optional[Callable[[T], R]] = None,
+    injector=None,
+) -> R:
+    """Run one cell under the retry/escalation state machine, in-process.
+
+    The serial twin of what the parallel supervisor does per cell: fire
+    any index-matched faults (serially simulated), retry retryable
+    failures with backoff, escalate deterministic numeric failures to
+    ``escalate_fn`` once retries are exhausted, and wrap permanent
+    failures in :class:`~repro.exceptions.CellFailedError`.
+    """
+    attempt = 0
+    while True:
+        try:
+            if injector is not None:
+                injector.fire("worker", index=index, attempt=attempt)
+                injector.fire("cell", index=index, attempt=attempt)
+            return fn(item)
+        except Exception as exc:
+            if not is_retryable(exc):
+                raise
+            if attempt >= policy.retries:
+                if policy.escalate and escalate_fn is not None and is_escalatable(exc):
+                    counters.precision_escalations += 1
+                    return escalate_fn(item)
+                raise CellFailedError(index, exc) from exc
+            attempt += 1
+            counters.cell_retries += 1
+            backoff = policy.backoff(attempt)
+            if backoff > 0:
+                time.sleep(backoff)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _worker_main(task_q, result_q, fn, fault_spec: Optional[str]) -> None:
+    """Worker loop: pull ``(index, attempt, item)``, push results/failures.
+
+    Each worker process installs its own injector from the picklable spec
+    string (worker state never crosses the process boundary), so
+    index-keyed rules fire deterministically on whichever worker draws the
+    matching cell.  ``None`` is the shutdown sentinel.
+    """
+    injector = None
+    if fault_spec:
+        injector = install_injector(parse_fault_spec(fault_spec), in_worker=True)
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            return
+        index, attempt, item = msg
+        try:
+            if injector is not None:
+                injector.fire("worker", index=index, attempt=attempt)  # may _exit
+                injector.fire("cell", index=index, attempt=attempt)
+            result_q.put((index, attempt, True, fn(item), None))
+        except BaseException as exc:  # noqa: BLE001 - must report, not die
+            result_q.put((
+                index, attempt, False, None,
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "retryable": is_retryable(exc),
+                    "escalatable": is_escalatable(exc),
+                },
+            ))
+
+
+def _decode_failure(meta: dict) -> RemoteCellError:
+    return RemoteCellError(
+        type_name=meta.get("type", "Exception"),
+        message=meta.get("message", ""),
+        retryable=bool(meta.get("retryable", False)),
+        escalatable=bool(meta.get("escalatable", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# supervisor side
+# ---------------------------------------------------------------------------
+
+class _Supervisor:
+    """State of one supervised parallel map."""
+
+    def __init__(
+        self,
+        fn,
+        items: Sequence,
+        processes: int,
+        policy: RuntimePolicy,
+        counters: Counters,
+        escalate_fn,
+        journal: Optional[CheckpointJournal],
+        key_fn,
+    ) -> None:
+        self.fn = fn
+        self.items = list(items)
+        self.policy = policy
+        self.counters = counters
+        self.escalate_fn = escalate_fn
+        self.journal = journal
+        self.key_fn = key_fn
+        self.results: dict[int, object] = {}
+        self.pending: deque[tuple[float, int, int]] = deque()  # (ready_at, idx, attempt)
+        self.inflight: dict[int, tuple[int, int, float]] = {}  # wid -> (idx, attempt, deadline)
+        self.workers: dict[int, tuple] = {}  # wid -> (Process, task_q, result_q)
+        self.mctx = mp.get_context(policy.start_method)
+        self.processes = processes
+        self._next_wid = 0
+        self._deaths_since_progress = 0
+        self._degraded = False
+
+    # -- worker lifecycle -------------------------------------------------
+    def _spawn_worker(self) -> Optional[int]:
+        wid = self._next_wid
+        self._next_wid += 1
+        task_q = self.mctx.Queue()
+        result_q = self.mctx.Queue()
+        proc = self.mctx.Process(
+            target=_worker_main,
+            args=(task_q, result_q, self.fn, self.policy.faults),
+            daemon=True,
+        )
+        try:
+            proc.start()
+        except OSError:
+            return None
+        self.workers[wid] = (proc, task_q, result_q)
+        return wid
+
+    def _kill_worker(self, wid: int) -> None:
+        proc, task_q, result_q = self.workers.pop(wid)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        task_q.close()
+        task_q.cancel_join_thread()
+        result_q.close()
+        result_q.cancel_join_thread()
+        self.inflight.pop(wid, None)
+
+    def _shutdown(self) -> None:
+        """Tear down every worker -- no orphans, even on KeyboardInterrupt."""
+        for wid, (proc, task_q, _) in list(self.workers.items()):
+            if proc.is_alive():
+                try:
+                    task_q.put_nowait(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 0.5
+        for proc, _, _ in self.workers.values():
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for wid in list(self.workers):
+            self._kill_worker(wid)
+
+    # -- completion helpers -----------------------------------------------
+    def _complete(self, idx: int, value) -> None:
+        self.results[idx] = value
+        self._deaths_since_progress = 0
+        if self.journal is not None:
+            self.journal.record(self.key_fn(idx), value)
+
+    def _handle_failure(self, idx: int, attempt: int, exc: Exception) -> None:
+        if not is_retryable(exc):
+            raise exc
+        if attempt >= self.policy.retries:
+            if (self.policy.escalate and self.escalate_fn is not None
+                    and is_escalatable(exc)):
+                self.counters.precision_escalations += 1
+                self._complete(idx, self.escalate_fn(self.items[idx]))
+                return
+            raise CellFailedError(idx, exc) from exc
+        self.counters.cell_retries += 1
+        ready_at = time.monotonic() + self.policy.backoff(attempt + 1)
+        self.pending.append((ready_at, idx, attempt + 1))
+
+    def _requeue_infra_failure(self, wid: int, exc: Exception) -> None:
+        """A worker died or hung while holding a cell: replace and requeue."""
+        idx, attempt, _ = self.inflight[wid]
+        self._kill_worker(wid)
+        self._deaths_since_progress += 1
+        self._handle_failure(idx, attempt, exc)
+        if len(self.workers) < self.processes and not self._pool_unrecoverable():
+            if self._spawn_worker() is not None:
+                self.counters.worker_respawns += 1
+
+    def _pool_unrecoverable(self) -> bool:
+        return self._deaths_since_progress > self.policy.max_pool_failures
+
+    # -- degradation ------------------------------------------------------
+    def _degrade_to_serial(self) -> None:
+        """Pool is unrecoverable: finish every outstanding cell in-process."""
+        self._degraded = True
+        for wid in list(self.workers):
+            self._kill_worker(wid)
+        outstanding = sorted(
+            set(range(len(self.items)))
+            - set(self.results)
+        )
+        injector = current_injector()
+        for idx in outstanding:
+            value = run_cell(
+                self.fn, self.items[idx], idx, self.policy, self.counters,
+                escalate_fn=self.escalate_fn, injector=injector,
+            )
+            self._complete(idx, value)
+        self.pending.clear()
+        self.inflight.clear()
+
+    # -- main loop --------------------------------------------------------
+    def run(self) -> list:
+        n = len(self.items)
+        # Seed from the checkpoint journal before any work is queued.
+        if self.journal is not None:
+            for idx in range(n):
+                key = self.key_fn(idx)
+                if key in self.journal:
+                    self.results[idx] = self.journal.get(key)
+                    self.counters.checkpoint_hits += 1
+        for idx in range(n):
+            if idx not in self.results:
+                self.pending.append((0.0, idx, 0))
+        if not self.pending:
+            return [self.results[i] for i in range(n)]
+
+        spawned = 0
+        want = min(self.processes, len(self.pending))
+        for _ in range(want):
+            if self._spawn_worker() is not None:
+                spawned += 1
+        if spawned == 0:
+            # Could not start a single worker: degrade immediately.
+            self._degrade_to_serial()
+            return [self.results[i] for i in range(n)]
+
+        try:
+            while len(self.results) < n and not self._degraded:
+                self._assign_ready_work()
+                self._drain_results()
+                self._check_deadlines_and_deaths()
+                if self._pool_unrecoverable() or (not self.workers and self.pending):
+                    self._degrade_to_serial()
+        finally:
+            self._shutdown()
+        return [self.results[i] for i in range(n)]
+
+    def _assign_ready_work(self) -> None:
+        if not self.pending:
+            return
+        now = time.monotonic()
+        for wid, (proc, task_q, _) in list(self.workers.items()):
+            if wid in self.inflight or not self.pending:
+                continue
+            ready_at, idx, attempt = self.pending[0]
+            if ready_at > now:
+                break
+            self.pending.popleft()
+            deadline = (now + self.policy.timeout
+                        if self.policy.timeout is not None else float("inf"))
+            try:
+                task_q.put((idx, attempt, self.items[idx]))
+            except Exception:
+                # Broken pipe to this worker: put the cell back, replace the
+                # worker, and let the next loop iteration reassign.
+                self.pending.appendleft((ready_at, idx, attempt))
+                self._kill_worker(wid)
+                self._deaths_since_progress += 1
+                if not self._pool_unrecoverable():
+                    if self._spawn_worker() is not None:
+                        self.counters.worker_respawns += 1
+                return
+            self.inflight[wid] = (idx, attempt, deadline)
+
+    def _drain_worker(self, wid: int) -> bool:
+        """Non-blocking drain of one worker's private result queue."""
+        entry = self.workers.get(wid)
+        if entry is None:
+            return False
+        result_q = entry[2]
+        drained = False
+        while True:
+            try:
+                msg = result_q.get_nowait()
+            except (queue_mod.Empty, OSError, EOFError):
+                return drained
+            drained = True
+            idx, attempt, ok, value, failure = msg
+            if self.inflight.get(wid, (None,))[0] == idx:
+                del self.inflight[wid]
+            if idx in self.results:
+                continue  # late duplicate (e.g. finished right at its deadline)
+            if ok:
+                self._complete(idx, value)
+            else:
+                self._handle_failure(idx, attempt, _decode_failure(failure))
+
+    def _drain_results(self, block: bool = True) -> None:
+        drained = False
+        for wid in list(self.workers):
+            drained |= self._drain_worker(wid)
+        if block and not drained:
+            time.sleep(self.policy.poll_interval)
+
+    def _check_deadlines_and_deaths(self) -> None:
+        now = time.monotonic()
+        for wid in list(self.inflight):
+            if wid not in self.workers or wid not in self.inflight:
+                continue
+            proc = self.workers[wid][0]
+            idx, attempt, deadline = self.inflight[wid]
+            if not proc.is_alive():
+                # Drain any result the worker managed to flush before dying.
+                self._drain_worker(wid)
+                if wid not in self.inflight:
+                    self._kill_worker(wid)
+                    if (len(self.workers) < self.processes
+                            and (self.pending or self.inflight)):
+                        if self._spawn_worker() is not None:
+                            self.counters.worker_respawns += 1
+                    continue
+                self._requeue_infra_failure(wid, WorkerCrashError(
+                    f"worker died while computing cell {idx} "
+                    f"(exit code {proc.exitcode})"))
+            elif now > deadline:
+                self.counters.cell_timeouts += 1
+                self._requeue_infra_failure(wid, WorkerTimeoutError(
+                    f"cell {idx} exceeded its {self.policy.timeout:g}s budget; "
+                    f"worker killed"))
+
+
+def supervised_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    processes: int = 0,
+    policy: Optional[RuntimePolicy] = None,
+    counters: Optional[Counters] = None,
+    escalate_fn: Optional[Callable[[T], R]] = None,
+    journal: Optional[CheckpointJournal] = None,
+    key_fn: Optional[Callable[[int], str]] = None,
+) -> list[R]:
+    """Fault-tolerant, order-preserving map over ``items``.
+
+    ``processes <= 0`` runs serially in-process (cells still get the full
+    retry/escalation treatment, with kill/hang faults simulated as the
+    errors the supervisor would synthesize).  ``fn`` and the items must be
+    picklable for the parallel path; ``escalate_fn`` runs in the
+    supervisor process.  ``key_fn`` maps a submission index to a stable
+    journal key (defaults to ``str(index)``).
+    """
+    policy = policy if policy is not None else RuntimePolicy()
+    counters = counters if counters is not None else Counters()
+    key_fn = key_fn if key_fn is not None else str
+    items = list(items)
+
+    if processes <= 0 or len(items) <= 1:
+        injector = current_injector()
+        out: list = []
+        for idx, item in enumerate(items):
+            if journal is not None:
+                key = key_fn(idx)
+                if key in journal:
+                    counters.checkpoint_hits += 1
+                    out.append(journal.get(key))
+                    continue
+            value = run_cell(fn, item, idx, policy, counters,
+                             escalate_fn=escalate_fn, injector=injector)
+            if journal is not None:
+                journal.record(key_fn(idx), value)
+            out.append(value)
+        return out
+
+    sup = _Supervisor(fn, items, processes, policy, counters,
+                      escalate_fn, journal, key_fn)
+    return sup.run()

@@ -1,0 +1,71 @@
+"""Typed numeric failures: structure the supervisor's retry logic relies on.
+
+The runtime layer classifies failures by type (`is_retryable` /
+`is_escalatable`) and reads `signature`/`residual` off them for logging
+and corpus filing -- these tests pin down that the core iterations
+actually populate those fields.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bottleneck_decomposition, proportional_response
+from repro.engine import EngineContext, instance_signature
+from repro.exceptions import (
+    ConvergenceError,
+    NumericalInstabilityError,
+    is_escalatable,
+    is_retryable,
+)
+from repro.graphs import random_ring, ring
+from repro.numeric import EXACT, FLOAT
+
+
+def test_dinkelbach_convergence_error_is_structured(monkeypatch):
+    import repro.core.bottleneck as bn
+
+    monkeypatch.setattr(bn, "_MAX_DINKELBACH_ITERS", 1)
+    g = random_ring(5, np.random.default_rng(0), "loguniform", 0.1, 10)
+    with pytest.raises(ConvergenceError) as ei:
+        bottleneck_decomposition(g)
+    exc = ei.value
+    assert exc.signature == instance_signature(g, FLOAT)
+    assert exc.iterations == 1
+    assert exc.residual is not None and exc.residual >= 0
+    assert exc.signature in str(exc)
+    assert is_retryable(exc) and is_escalatable(exc)
+
+
+def test_dynamics_convergence_error_is_structured():
+    g = ring((1.0, 2.0, 3.0, 4.0))
+    with pytest.raises(ConvergenceError) as ei:
+        proportional_response(g, max_iters=1, tol=0.0, raise_on_failure=True)
+    exc = ei.value
+    assert exc.signature == instance_signature(g)
+    assert exc.iterations == 1
+    assert exc.residual is not None
+
+
+def test_overflow_ring_raises_typed_instability_not_silent_nan():
+    # The corpus-witnessed class (decomposition-6d8d521248e9): weights near
+    # DBL_MAX overflow the parametric weight sums, lambda = inf/inf = nan,
+    # and the float decomposition used to return alpha = nan silently.
+    g = ring((1e308, 5e307, 1e308))
+    with pytest.raises(NumericalInstabilityError) as ei:
+        bottleneck_decomposition(g)
+    assert "finite" in str(ei.value)
+    assert is_retryable(ei.value) and is_escalatable(ei.value)
+
+
+def test_overflow_ring_is_fine_under_exact_backend():
+    # ... which is exactly why the supervisor escalates it there.
+    g = ring((1e308, 5e307, 1e308))
+    d = bottleneck_decomposition(g, EXACT, EngineContext(cache_size=0))
+    assert all(d.alpha_of(v) > 0 for v in range(g.n))
+
+
+def test_instance_signature_is_stable_and_input_sensitive():
+    g = ring((1.0, 2.0, 3.0))
+    assert instance_signature(g) == instance_signature(g)
+    assert instance_signature(g) != instance_signature(ring((1.0, 2.0, 4.0)))
+    assert instance_signature(g) != instance_signature(g, EXACT)

@@ -1,0 +1,60 @@
+"""Chaos determinism: a faulted run with retry budget equals a clean run.
+
+This is the in-repo twin of the CI chaos job.  EXP-T8 (the incentive-ratio
+sweep, the only experiment that fans cells across workers) runs once
+clean and once under a fault spec that exercises every injection site --
+an experiment-level exception, a worker kill, a cell exception, and a NaN
+corruption at the flow boundary -- and the *rendered output and data must
+not differ by a single bit*.  Faults are visible only in the runtime
+counters.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.runtime import clear_injector
+
+CHAOS_SPEC = "exp:exc@0;worker:kill@5;cell:exc@2;flow:nan@7"
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_injector():
+    clear_injector()
+    yield
+    clear_injector()
+
+
+def _run_cli(capsys, argv):
+    rc = main(argv)
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_exp_t8_smoke_is_bit_identical_under_chaos(capsys):
+    base_argv = ["run", "EXP-T8", "--scale", "smoke", "--seed", "0"]
+    rc0, clean = _run_cli(capsys, base_argv)
+    assert rc0 == 0
+
+    rc1, chaotic = _run_cli(capsys, base_argv + [
+        "--workers", "2", "--retries", "2",
+        "--inject-faults", CHAOS_SPEC,
+    ])
+    assert rc1 == 0
+    assert chaotic == clean
+
+
+def test_exp_fault_without_retry_budget_fails_loudly(capsys):
+    rc, _ = _run_cli(capsys, [
+        "run", "EXP-F1", "--scale", "smoke",
+        "--inject-faults", "exp:exc@0",
+    ])
+    assert rc == 2  # InjectedFault is a ReproError: clean CLI error, exit 2
+
+
+def test_exp_fault_with_retry_budget_recovers(capsys):
+    base = ["run", "EXP-F1", "--scale", "smoke", "--seed", "0"]
+    rc0, clean = _run_cli(capsys, base)
+    rc1, retried = _run_cli(capsys, base + ["--inject-faults", "exp:exc@0",
+                                            "--retries", "1"])
+    assert (rc0, rc1) == (0, 0)
+    assert retried == clean

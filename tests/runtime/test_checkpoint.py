@@ -1,0 +1,145 @@
+"""Checkpoint journal: bit-exact round-trips and resume safety."""
+
+import json
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.runtime import (
+    CheckpointJournal,
+    decode_value,
+    encode_value,
+    open_journal,
+)
+
+
+# -- value encoding --------------------------------------------------------
+
+@pytest.mark.parametrize("value", [
+    None,
+    True,
+    False,
+    0,
+    -17,
+    10**40,                      # beyond float precision: must stay int
+    "a string",
+    0.1,
+    -1.5e308,
+    5e-324,                      # smallest subnormal double
+    Fraction(10**30, 7),
+    [1, 2.5, "x", None],
+    {"a": 1, "b": [Fraction(1, 3), 0.25]},
+    [[["deep"]]],
+])
+def test_round_trip_bit_exact(value):
+    assert decode_value(encode_value(value)) == value
+
+
+def test_round_trip_preserves_float_bits_not_just_repr():
+    x = 0.1 + 0.2  # 0.30000000000000004
+    decoded = decode_value(encode_value(x))
+    assert decoded.hex() == x.hex()
+
+
+def test_numpy_scalars_fold_to_exact_python_floats():
+    x = np.float64(1.0) / np.float64(3.0)
+    decoded = decode_value(encode_value(x))
+    assert isinstance(decoded, float)
+    assert decoded.hex() == float(x).hex()
+    assert decode_value(encode_value(np.int64(7))) == 7
+
+
+def test_nan_round_trips():
+    assert math.isnan(decode_value(encode_value(float("nan"))))
+
+
+def test_tuples_and_arrays_decode_as_lists():
+    assert decode_value(encode_value((1, 2))) == [1, 2]
+    assert decode_value(encode_value(np.array([1.0, 2.0]))) == [1.0, 2.0]
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(CheckpointError):
+        encode_value({1: "x"})
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CheckpointError):
+        encode_value(object())
+
+
+def test_malformed_encoded_value_rejected():
+    with pytest.raises(CheckpointError):
+        decode_value(["?", 1])
+    with pytest.raises(CheckpointError):
+        decode_value(["f", "not-hex"])
+
+
+# -- journal lifecycle -----------------------------------------------------
+
+def test_journal_records_and_resumes(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    with CheckpointJournal.open(path, "fp") as j:
+        j.record("cell-0", 0.1)
+        j.record("cell-1", {"zeta": 1.999, "n": 5})
+        j.record("cell-0", -999.0)  # idempotent: first write wins
+    with CheckpointJournal.open(path, "fp") as j2:
+        assert len(j2) == 2
+        assert "cell-0" in j2 and "cell-1" in j2
+        assert j2.get("cell-0") == 0.1
+        assert j2.get("cell-1") == {"zeta": 1.999, "n": 5}
+
+
+def test_fingerprint_mismatch_refuses_resume(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    CheckpointJournal.open(path, "fp-A").close()
+    with pytest.raises(CheckpointError, match="refusing to resume"):
+        CheckpointJournal.open(path, "fp-B")
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    with CheckpointJournal.open(path, "fp") as j:
+        j.record("0", 1.0)
+        j.record("1", 2.0)
+    with open(path, "a") as fh:
+        fh.write('{"k": "2", "v": ["f"')  # the write in flight at kill time
+    with CheckpointJournal.open(path, "fp") as j2:
+        assert len(j2) == 2
+        assert "2" not in j2
+    # reopening also healed nothing silently: cell 2 just gets recomputed
+    with CheckpointJournal.open(path, "fp") as j3:
+        j3.record("2", 3.0)
+        assert j3.get("2") == 3.0
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    with CheckpointJournal.open(path, "fp") as j:
+        j.record("0", 1.0)
+    lines = path.read_text().splitlines()
+    lines.insert(1, "NOT JSON")
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError, match="corrupt mid-file"):
+        CheckpointJournal.open(path, "fp")
+
+
+def test_empty_or_headerless_file_rejected(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    path.write_text("")
+    with pytest.raises(CheckpointError):
+        CheckpointJournal.open(path, "fp")
+
+
+def test_unknown_format_rejected(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    path.write_text(json.dumps({"format": 999, "fingerprint": "fp"}) + "\n")
+    with pytest.raises(CheckpointError, match="format"):
+        CheckpointJournal.open(path, "fp")
+
+
+def test_open_journal_forwards_none():
+    assert open_journal(None, "fp") is None

@@ -1,0 +1,144 @@
+"""Deterministic fault injection: spec grammar, firing rules, engine hook."""
+
+import math
+
+import pytest
+
+from repro.engine import Counters, EngineContext
+from repro.exceptions import (
+    EngineError,
+    InjectedFault,
+    NumericalInstabilityError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.flow import FlowNetwork
+from repro.runtime import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    clear_injector,
+    current_injector,
+    fire_site,
+    install_injector,
+    parse_fault_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_injector():
+    clear_injector()
+    yield
+    clear_injector()
+
+
+# -- spec grammar ----------------------------------------------------------
+
+def test_parse_multi_clause_spec():
+    plan = parse_fault_spec("cell:exc@3;worker:kill@5,flow:nan@40;cell:hang@7:30")
+    assert plan.rules == (
+        FaultRule("cell", "exc", 3),
+        FaultRule("worker", "kill", 5),
+        FaultRule("flow", "nan", 40),
+        FaultRule("cell", "hang", 7, 30.0),
+    )
+    assert plan  # non-empty plan is truthy
+
+
+def test_spec_round_trips_through_render():
+    spec = "cell:exc@3;worker:kill@5;cell:delay@2:0.01"
+    assert parse_fault_spec(parse_fault_spec(spec).render()) == parse_fault_spec(spec)
+
+
+@pytest.mark.parametrize("bad", [
+    "cell@3",            # missing kind
+    "cell:exc",          # missing position
+    "cell:exc@x",        # non-integer position
+    "",                  # no rules at all
+    "nowhere:exc@1",     # unknown site
+    "cell:kill@1",       # kill only valid at worker site
+    "flow:hang@1",       # hang not valid at flow site
+    "cell:exc@-1",       # negative position
+])
+def test_malformed_specs_rejected(bad):
+    with pytest.raises(EngineError):
+        parse_fault_spec(bad)
+
+
+# -- firing semantics ------------------------------------------------------
+
+def test_index_rule_fires_exactly_once_and_only_attempt_zero():
+    inj = FaultInjector(parse_fault_spec("cell:exc@2"))
+    inj.fire("cell", index=0)
+    inj.fire("cell", index=1)
+    inj.fire("cell", index=2, attempt=1)  # retry attempt: must not fire
+    with pytest.raises(InjectedFault) as ei:
+        inj.fire("cell", index=2, attempt=0)
+    assert ei.value.site == "cell"
+    inj.fire("cell", index=2, attempt=0)  # consumed: never fires twice
+
+
+def test_count_keyed_flow_rule():
+    inj = FaultInjector(parse_fault_spec("flow:nan@3"))
+    assert inj.corrupt_flow(1.5) == 1.5
+    assert inj.corrupt_flow(2.5) == 2.5
+    assert math.isnan(inj.corrupt_flow(3.5))
+    assert inj.corrupt_flow(4.5) == 4.5  # consumed
+
+
+def test_flow_exc_kind():
+    inj = FaultInjector(parse_fault_spec("flow:exc@1"))
+    with pytest.raises(InjectedFault):
+        inj.corrupt_flow(1.0)
+
+
+def test_serial_kill_and_hang_are_simulated():
+    inj = FaultInjector(parse_fault_spec("worker:kill@0;cell:hang@1:99"))
+    with pytest.raises(WorkerCrashError):
+        inj.fire("worker", index=0)
+    with pytest.raises(WorkerTimeoutError):
+        inj.fire("cell", index=1)
+
+
+def test_counters_tally_fired_rules():
+    c = Counters()
+    inj = FaultInjector(parse_fault_spec("cell:exc@0;flow:nan@1"), counters=c)
+    with pytest.raises(InjectedFault):
+        inj.fire("cell", index=0)
+    assert math.isnan(inj.corrupt_flow(7.0))
+    assert c.injected_faults == 2
+
+
+# -- process-global installation and the engine flow hook ------------------
+
+def test_install_and_clear_global_injector():
+    assert current_injector() is None
+    fire_site("cell", index=0)  # no-op without an injector
+    inj = install_injector(parse_fault_spec("cell:exc@0"))
+    assert current_injector() is inj
+    with pytest.raises(InjectedFault):
+        fire_site("cell", index=0)
+    clear_injector()
+    assert current_injector() is None
+
+
+def test_flow_hook_corrupts_engine_value_into_typed_error():
+    """An injected NaN at the flow boundary must surface as the engine's
+    typed NumericalInstabilityError, not as a silent NaN result."""
+    install_injector(parse_fault_spec("flow:nan@1"))
+    net = FlowNetwork(3)
+    net.add_edge(0, 1, 5.0)
+    net.add_edge(1, 2, 5.0)
+    ctx = EngineContext(cache_size=0)
+    with pytest.raises(NumericalInstabilityError):
+        ctx.max_flow(net, 0, 2)
+    # the rule is consumed: a retry of the same solve returns the honest value
+    net.reset()
+    assert ctx.max_flow(net, 0, 2) == 5.0
+
+
+def test_plan_is_picklable():
+    import pickle
+
+    plan = parse_fault_spec("cell:exc@3;worker:kill@5")
+    assert pickle.loads(pickle.dumps(plan)) == plan

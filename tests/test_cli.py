@@ -92,3 +92,42 @@ def test_parser_rejects_bad_scale():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+def test_parser_accepts_runtime_flags():
+    args = build_parser().parse_args([
+        "run", "EXP-T8", "--workers", "2", "--timeout", "30",
+        "--retries", "3", "--checkpoint", "j.ckpt",
+        "--inject-faults", "cell:exc@3", "--start-method", "spawn",
+    ])
+    assert args.workers == 2 and args.timeout == 30.0 and args.retries == 3
+    assert args.checkpoint == "j.ckpt" and args.start_method == "spawn"
+
+
+def test_parser_rejects_bad_start_method():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "EXP-T8", "--start-method", "thread"])
+
+
+def test_invalid_fault_spec_is_clean_cli_error(capsys):
+    assert main(["run", "EXP-F1", "--scale", "smoke",
+                 "--inject-faults", "gibberish"]) == 2
+    assert "fault" in capsys.readouterr().err
+
+
+def test_run_with_runtime_stats_segment(capsys):
+    code = main(["run", "EXP-F1", "--scale", "smoke", "--retries", "1",
+                 "--inject-faults", "exp:exc@0", "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "runtime:" in out and "retries=1" in out and "injected=1" in out
+
+
+def test_checkpoint_flag_resumes_suite(capsys, tmp_path):
+    ckpt = str(tmp_path / "suite.ckpt")
+    base = ["run", "EXP-F1", "--scale", "smoke", "--checkpoint", ckpt]
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert main(base + ["--stats"]) == 0
+    second = capsys.readouterr().out
+    assert "checkpoint hits=1" in second
+    assert first in second  # replayed render identical, stats line added
