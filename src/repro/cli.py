@@ -108,6 +108,18 @@ def _common(p: argparse.ArgumentParser) -> None:
                         "'cell:exc@3;worker:kill@5;flow:nan@40')")
     p.add_argument("--start-method", default="fork", choices=list(START_METHODS),
                    help="multiprocessing start method for worker pools")
+    p.add_argument("--max-memory", type=float, default=None, metavar="MB",
+                   help="per-worker address-space cap in MiB "
+                        "(RLIMIT_AS; a worker exceeding it fails its cell "
+                        "with a typed, retryable ResourceExhaustedError "
+                        "and the sweep degrades per --retries)")
+    p.add_argument("--max-cpu", type=float, default=None, metavar="S",
+                   help="per-worker CPU-seconds cap (RLIMIT_CPU; overruns "
+                        "kill the worker and requeue its cell)")
+    p.add_argument("--max-bruteforce", type=int, default=None, metavar="N",
+                   help="largest active-set size brute-force oracles may "
+                        "enumerate (default: 18); larger requests raise "
+                        "ResourceExhaustedError instead of running 2^n")
 
 
 def _engine_context(args: argparse.Namespace) -> EngineContext:
@@ -132,6 +144,9 @@ def _engine_context(args: argparse.Namespace) -> EngineContext:
         retries=args.retries,
         start_method=args.start_method,
         faults=args.inject_faults,
+        max_memory_mb=args.max_memory,
+        max_cpu_seconds=args.max_cpu,
+        max_bruteforce_n=args.max_bruteforce,
     )
     ctx.runtime = policy
     if args.inject_faults:

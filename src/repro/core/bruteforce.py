@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from ..exceptions import DecompositionError
 from ..graphs import WeightedGraph
+from ..guard.resources import check_bruteforce_size
 from ..numeric import Backend, EXACT, Scalar
 from .alpha import alpha_within
 from .bottleneck import BottleneckDecomposition, BottleneckPair
@@ -21,8 +22,6 @@ __all__ = [
     "brute_force_maximal_bottleneck",
     "brute_force_decomposition",
 ]
-
-_BRUTE_LIMIT = 18
 
 
 def _subsets(verts: Sequence[int]):
@@ -38,8 +37,10 @@ def brute_force_min_alpha(
     """Minimum ``alpha(S)`` over nonempty subsets of ``active`` by enumeration."""
     if active is None:
         active = list(g.vertices())
-    if len(active) > _BRUTE_LIMIT:
-        raise DecompositionError(f"brute force limited to {_BRUTE_LIMIT} vertices")
+    # Size guard (repro.guard.resources): refuse before the 2^n loop, with
+    # the typed ResourceExhaustedError the supervisor knows how to handle.
+    # The cap travels with RuntimePolicy.max_bruteforce_n into workers.
+    check_bruteforce_size(len(active), what="brute-force min-alpha")
     best = None
     for S in _subsets(active):
         a = alpha_within(g, S, active, backend)

@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "GraphError",
     "InvalidWeightError",
+    "MalformedInputError",
     "FlowError",
     "InfeasibleFlowError",
     "DecompositionError",
@@ -24,6 +25,7 @@ __all__ = [
     "AuditError",
     "CorpusError",
     "RuntimeSupervisionError",
+    "ResourceExhaustedError",
     "InjectedFault",
     "WorkerTimeoutError",
     "WorkerCrashError",
@@ -45,6 +47,19 @@ class GraphError(ReproError):
 
 class InvalidWeightError(GraphError):
     """A vertex weight is negative, NaN, or otherwise unusable."""
+
+
+class MalformedInputError(ReproError):
+    """Untrusted input rejected at a serialization/ingestion boundary.
+
+    Raised by :mod:`repro.guard.validate` and the :mod:`repro.io` loaders
+    for inputs that are wrong *before* any graph exists: non-finite,
+    negative, or non-numeric scalars, malformed ``"p/q"`` fraction strings
+    (including zero denominators), JSON payloads of the wrong shape, and
+    absurd sizes that would exhaust memory just being materialized.  Kept
+    distinct from :class:`GraphError` (a structurally inconsistent graph)
+    so callers can tell "the bytes were garbage" from "the graph was bad".
+    """
 
 
 class FlowError(ReproError):
@@ -168,6 +183,26 @@ class InjectedFault(RuntimeSupervisionError):
         self.rule = rule
 
 
+class ResourceExhaustedError(RuntimeSupervisionError):
+    """A cell hit its resource envelope (RLIMIT_AS / RLIMIT_CPU / size cap).
+
+    Raised in three places: a worker whose allocation fails under the
+    per-worker ``RLIMIT_AS`` envelope translates the resulting
+    :class:`MemoryError` into this typed error; the brute-force oracles
+    refuse instances above the configured enumeration cap before starting
+    a ``2^n`` loop; and the serial guarded path translates in-process
+    ``MemoryError``.  Retryable *and* escalatable, so a supervised sweep
+    takes the standard recovery ladder -- backoff retry, then the
+    escalation hook (which runs in the supervisor process, outside the
+    envelope) -- instead of OOM-killing the pool.  ``resource`` names which
+    envelope tripped (``"memory"``, ``"cpu"``, or ``"size"``).
+    """
+
+    def __init__(self, message: str, resource: str = "memory") -> None:
+        super().__init__(message)
+        self.resource = resource
+
+
 class WorkerTimeoutError(RuntimeSupervisionError):
     """A cell exceeded its wall-clock budget and its worker was killed."""
 
@@ -217,6 +252,7 @@ _RETRYABLE = (
     InjectedFault,
     WorkerTimeoutError,
     WorkerCrashError,
+    ResourceExhaustedError,
 )
 
 #: The subset of retryable failures where a plain retry cannot help but a
@@ -226,6 +262,10 @@ _ESCALATABLE = (
     ConvergenceError,
     NumericalInstabilityError,
     AuditError,
+    # The escalation hook runs in the supervisor process with no rlimit
+    # envelope, so a cell that blew its worker's memory/CPU budget gets one
+    # unconstrained rerun before the sweep gives up on it.
+    ResourceExhaustedError,
 )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
-from ..exceptions import FlowError
+from ..exceptions import FlowError, NumericalInstabilityError
 
 __all__ = ["FlowNetwork"]
 
@@ -62,6 +62,18 @@ class FlowNetwork:
             raise FlowError(f"capacity {cap!r} is not comparable") from exc
         if negative:
             raise FlowError(f"negative capacity {cap!r} on arc ({u},{v})")
+        # NaN compares False against everything, so it sails past the
+        # negativity check and then poisons every residual comparison the
+        # solvers make (``+inf`` stays legal: Definition 5's bipartite arcs
+        # are genuinely unbounded).  A NaN here means upstream float
+        # arithmetic overflowed -- untrusted input is already screened by
+        # repro.guard -- so raise the retryable instability error and let
+        # the supervisor escalate the cell to the exact backend.
+        if isinstance(cap, float) and math.isnan(cap):
+            raise NumericalInstabilityError(
+                f"NaN capacity on arc ({u},{v}); upstream arithmetic lost "
+                f"the value"
+            )
         arc = len(self.head)
         self.head.append(v)
         self.cap.append(cap)

@@ -20,7 +20,13 @@ from .rings import (
     cut_ring_at,
     honest_ids_after_cut,
 )
-from .validation import require_positive_weights, require_ring, check_no_isolated
+from .validation import (
+    check_no_isolated,
+    require_finite_weights,
+    require_positive_weights,
+    require_ring,
+    require_simple,
+)
 
 __all__ = [
     "WeightedGraph",
@@ -40,6 +46,8 @@ __all__ = [
     "cut_ring_at",
     "honest_ids_after_cut",
     "require_positive_weights",
+    "require_finite_weights",
     "require_ring",
+    "require_simple",
     "check_no_isolated",
 ]

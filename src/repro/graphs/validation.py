@@ -1,26 +1,76 @@
-"""Structural validation helpers shared by tests and experiments."""
+"""Structural validation helpers shared by tests and experiments.
+
+These are the *post-construction* validators: they must hold even for
+graphs built through the trusted fast path
+(``WeightedGraph(..., validate=False)``), so they re-derive every property
+from the structures themselves rather than trusting constructor
+invariants.  The fuzz harness leans on exactly this: a graph smuggled past
+the constructor must still be caught here, with a typed error.
+"""
 
 from __future__ import annotations
+
+import math
 
 from ..exceptions import GraphError, InvalidWeightError
 from .weighted_graph import WeightedGraph
 
-__all__ = ["require_positive_weights", "require_ring", "check_no_isolated"]
+__all__ = ["require_positive_weights", "require_finite_weights",
+           "require_ring", "require_simple", "check_no_isolated"]
 
 
 def require_positive_weights(g: WeightedGraph) -> None:
-    """Raise unless every weight is strictly positive.
+    """Raise unless every weight is strictly positive (and finite).
 
     The paper's original instances have ``w_v > 0``; zeros appear only on
     split/misreported vertices.  Experiments that sample "honest" instances
-    call this to guard their generators.
+    call this to guard their generators.  ``NaN`` fails ``w > 0`` by IEEE
+    semantics and ``inf`` is rejected explicitly, so weights that bypassed
+    constructor validation still die here with a typed error.
     """
     for v, w in enumerate(g.weights):
-        if not w > 0:
-            raise InvalidWeightError(f"vertex {v} has non-positive weight {w!r}")
+        if not w > 0 or (isinstance(w, float) and not math.isfinite(w)):
+            raise InvalidWeightError(f"vertex {v} has non-positive or "
+                                     f"non-finite weight {w!r}")
+
+
+def require_finite_weights(g: WeightedGraph) -> None:
+    """Raise unless every weight is a finite number ``>= 0`` (zeros allowed,
+    as on split/misreported vertices)."""
+    for v, w in enumerate(g.weights):
+        try:
+            neg = w < 0
+        except TypeError as exc:
+            raise InvalidWeightError(
+                f"vertex {v} weight is not a number: {w!r}") from exc
+        if neg or (isinstance(w, float) and not math.isfinite(w)):
+            raise InvalidWeightError(
+                f"vertex {v} weight must be finite and >= 0, got {w!r}")
+
+
+def require_simple(g: WeightedGraph) -> None:
+    """Raise unless the adjacency structure is a simple graph.
+
+    A graph built through the ``validate=False`` fast path can carry
+    self-loops or parallel edges in its adjacency lists; the total degree
+    then disagrees with ``2 * m`` (each duplicate or loop inflates it), so
+    the check is independent of how the graph was constructed.
+    """
+    total_degree = sum(g.degree(v) for v in g.vertices())
+    if total_degree != 2 * g.m:
+        raise GraphError(
+            f"graph is not simple: adjacency lists carry {total_degree} arc "
+            f"endpoints for {g.m} undirected edges (self-loop or multi-edge)"
+        )
+    for v in g.vertices():
+        if len(set(g.neighbors(v))) != g.degree(v):
+            raise GraphError(f"vertex {v} has parallel edges")
+        if v in g.neighbors(v):
+            raise GraphError(f"vertex {v} has a self-loop")
 
 
 def require_ring(g: WeightedGraph) -> None:
+    require_simple(g)
     if not g.is_ring():
         raise GraphError("expected a ring graph")
 

@@ -18,6 +18,8 @@ proportional response model has no use for either, and Definition 2's
 
 from __future__ import annotations
 
+import math
+from operator import index as _as_index
 from typing import Iterable, Mapping, Sequence
 
 from ..exceptions import GraphError, InvalidWeightError
@@ -41,6 +43,15 @@ class WeightedGraph:
     labels:
         Optional human-readable labels (e.g. ``"v1"``) used by reports and
         the Sybil-split bookkeeping; defaults to ``"v0".."v{n-1}"``.
+    validate:
+        ``True`` (default) runs the full constructor checks: integer
+        in-range endpoints, no self-loops/duplicates, and finite
+        non-negative, non-NaN numeric weights.  ``False`` is the trusted
+        fast path for internal reconstructions whose inputs were validated
+        once already (e.g. :meth:`induced_subgraph` in the decomposition's
+        recursion); it skips the per-element checks but still builds the
+        same structures, so downstream validators
+        (:mod:`repro.graphs.validation`) can detect anything smuggled in.
     """
 
     __slots__ = ("n", "edges", "weights", "labels", "_adj", "_edge_set")
@@ -51,29 +62,41 @@ class WeightedGraph:
         edges: Iterable[tuple[int, int]],
         weights: Sequence[Scalar],
         labels: Sequence[str] | None = None,
+        validate: bool = True,
     ) -> None:
         if n < 0:
             raise GraphError(f"vertex count must be non-negative, got {n}")
         if len(weights) != n:
             raise GraphError(f"expected {n} weights, got {len(weights)}")
-        for i, w in enumerate(weights):
-            try:
-                neg = w < 0
-            except TypeError as exc:  # e.g. None
-                raise InvalidWeightError(f"weight of vertex {i} is not a number: {w!r}") from exc
-            if neg or (isinstance(w, float) and w != w):
-                raise InvalidWeightError(f"weight of vertex {i} must be >= 0, got {w!r}")
+        if validate:
+            for i, w in enumerate(weights):
+                try:
+                    neg = w < 0
+                except TypeError as exc:  # e.g. None, str
+                    raise InvalidWeightError(
+                        f"weight of vertex {i} is not a number: {w!r}") from exc
+                if neg or (isinstance(w, float) and not math.isfinite(w)):
+                    raise InvalidWeightError(
+                        f"weight of vertex {i} must be finite and >= 0, got {w!r}")
 
         edge_set: set[tuple[int, int]] = set()
         adj: list[list[int]] = [[] for _ in range(n)]
         for u, v in edges:
-            if not (0 <= u < n and 0 <= v < n):
-                raise GraphError(f"edge ({u},{v}) out of range for n={n}")
-            if u == v:
-                raise GraphError(f"self-loop at vertex {u} is not allowed")
-            key = (u, v) if u < v else (v, u)
-            if key in edge_set:
-                raise GraphError(f"duplicate edge ({u},{v})")
+            if validate:
+                try:
+                    u, v = _as_index(u), _as_index(v)
+                except TypeError as exc:
+                    raise GraphError(
+                        f"edge ({u!r},{v!r}) endpoints must be integers") from exc
+                if not (0 <= u < n and 0 <= v < n):
+                    raise GraphError(f"edge ({u},{v}) out of range for n={n}")
+                if u == v:
+                    raise GraphError(f"self-loop at vertex {u} is not allowed")
+                key = (u, v) if u < v else (v, u)
+                if key in edge_set:
+                    raise GraphError(f"duplicate edge ({u},{v})")
+            else:
+                key = (u, v) if u < v else (v, u)
             edge_set.add(key)
             adj[u].append(v)
             adj[v].append(u)
@@ -159,6 +182,9 @@ class WeightedGraph:
                 sub_edges,
                 [self.weights[v] for v in S_sorted],
                 [self.labels[v] for v in S_sorted],
+                # Fast path: edges/weights come from this (already
+                # validated) graph, remapped injectively.
+                validate=False,
             ),
             remap,
         )
@@ -181,7 +207,8 @@ class WeightedGraph:
         return WeightedGraph(self.n, self.edges, weights, self.labels)
 
     def relabel(self, labels: Sequence[str]) -> "WeightedGraph":
-        return WeightedGraph(self.n, self.edges, self.weights, labels)
+        return WeightedGraph(self.n, self.edges, self.weights, labels,
+                             validate=False)
 
     # ------------------------------------------------------------------
     # structure predicates

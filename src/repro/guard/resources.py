@@ -1,0 +1,156 @@
+"""Resource envelopes: per-worker rlimits and combinatorial size caps.
+
+An adversarial (or merely degenerate) instance must cost one cell, not the
+host.  Three envelopes, all carried by
+:class:`~repro.runtime.RuntimePolicy` and applied by the supervisor:
+
+* **address space** (``RLIMIT_AS``) -- a worker whose cell balloons past
+  ``max_memory_mb`` gets a ``MemoryError`` from the allocator, which the
+  worker loop translates into a typed, retryable
+  :class:`~repro.exceptions.ResourceExhaustedError` instead of being
+  OOM-killed (taking the pool's shared queues with it);
+* **CPU time** (``RLIMIT_CPU``) -- a runaway cell is SIGKILLed by the
+  kernel at ``max_cpu_seconds`` of *CPU* time (wall-clock hangs are the
+  supervisor ``timeout``'s job); the supervisor observes a dead worker and
+  requeues the cell through the normal crash path;
+* **enumeration size** -- the brute-force oracles refuse instances above
+  :func:`bruteforce_limit` *before* entering a ``2^n`` loop, so the cap is
+  enforced even on the serial path where rlimits cannot be applied
+  (limiting the supervisor's own process would take down the host run).
+
+Rlimits are process-wide and irreversible downward, so they are applied
+only inside freshly spawned worker processes, never in the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import EngineError, ResourceExhaustedError
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+__all__ = [
+    "DEFAULT_BRUTEFORCE_LIMIT",
+    "RLIMITS_AVAILABLE",
+    "apply_rlimits",
+    "envelope_from_policy",
+    "bruteforce_limit",
+    "set_bruteforce_limit",
+    "check_bruteforce_size",
+    "translate_resource_errors",
+]
+
+#: ``resource.setrlimit`` is available (POSIX); on other platforms the
+#: memory/CPU envelopes are silently inert and only the size caps apply.
+RLIMITS_AVAILABLE = _resource is not None
+
+#: Default cap on brute-force enumeration (``2^n`` subsets): matches the
+#: historical ``_BRUTE_LIMIT`` of :mod:`repro.core.bruteforce`.
+DEFAULT_BRUTEFORCE_LIMIT = 18
+
+_BRUTEFORCE_LIMIT = DEFAULT_BRUTEFORCE_LIMIT
+
+
+def apply_rlimits(
+    max_memory_mb: Optional[float] = None,
+    max_cpu_seconds: Optional[float] = None,
+) -> list[str]:
+    """Apply rlimits to *this* process; returns the limits actually set.
+
+    Call only from a worker process that exists to run guarded cells --
+    rlimits cannot be raised back by an unprivileged process.  Limits the
+    platform refuses (or that ``resource`` cannot express) are skipped
+    rather than fatal: the typed-translation and size-cap layers still
+    hold, just without kernel enforcement.
+    """
+    applied: list[str] = []
+    if _resource is None:
+        return applied
+    if max_memory_mb is not None:
+        limit = int(max_memory_mb * 1024 * 1024)
+        try:
+            _resource.setrlimit(_resource.RLIMIT_AS, (limit, limit))
+            applied.append(f"RLIMIT_AS={limit}")
+        except (ValueError, OSError):  # pragma: no cover - platform-dependent
+            pass
+    if max_cpu_seconds is not None:
+        limit = max(1, int(max_cpu_seconds))
+        try:
+            # Identical soft and hard limits: the kernel sends SIGXCPU at
+            # the soft limit, whose default action already terminates the
+            # worker; the supervisor sees a crash and requeues the cell.
+            _resource.setrlimit(_resource.RLIMIT_CPU, (limit, limit))
+            applied.append(f"RLIMIT_CPU={limit}")
+        except (ValueError, OSError):  # pragma: no cover - platform-dependent
+            pass
+    return applied
+
+
+def envelope_from_policy(policy) -> Optional[tuple]:
+    """Picklable ``(max_memory_mb, max_cpu_seconds)`` for a worker, or
+    ``None`` when the policy sets no envelope (zero overhead)."""
+    mem = getattr(policy, "max_memory_mb", None)
+    cpu = getattr(policy, "max_cpu_seconds", None)
+    if mem is None and cpu is None:
+        return None
+    return (mem, cpu)
+
+
+def bruteforce_limit() -> int:
+    """Current cap on brute-force enumeration sizes (vertex count)."""
+    return _BRUTEFORCE_LIMIT
+
+
+def set_bruteforce_limit(limit: Optional[int]) -> int:
+    """Set the process-wide brute-force cap; returns the previous value.
+
+    ``None`` restores the default.  The supervisor installs the policy's
+    ``max_bruteforce_n`` in each worker (and around serial guarded runs)
+    so the cap travels with the envelope.
+    """
+    global _BRUTEFORCE_LIMIT
+    old = _BRUTEFORCE_LIMIT
+    if limit is None:
+        _BRUTEFORCE_LIMIT = DEFAULT_BRUTEFORCE_LIMIT
+    else:
+        if limit < 1:
+            raise EngineError(f"brute-force limit must be >= 1, got {limit}")
+        _BRUTEFORCE_LIMIT = int(limit)
+    return old
+
+
+def check_bruteforce_size(n: int, what: str = "brute force") -> None:
+    """Refuse a ``2^n`` enumeration above the configured cap -- typed."""
+    if n > _BRUTEFORCE_LIMIT:
+        raise ResourceExhaustedError(
+            f"{what} over {n} vertices exceeds the size cap "
+            f"{_BRUTEFORCE_LIMIT} (2^{n} subsets); raise the cap explicitly "
+            f"or use the parametric path",
+            resource="size",
+        )
+
+
+def translate_resource_errors(exc: BaseException) -> BaseException:
+    """Map raw exhaustion signals onto the typed taxonomy.
+
+    ``MemoryError`` (the allocator under ``RLIMIT_AS``, or genuine host
+    pressure) and ``RecursionError`` (adversarial structure blowing the
+    interpreter stack) become :class:`ResourceExhaustedError` so the
+    supervisor's retry/escalate ladder applies; anything else is returned
+    unchanged.
+    """
+    if isinstance(exc, MemoryError):
+        return ResourceExhaustedError(
+            "cell exhausted its memory envelope (MemoryError under "
+            "RLIMIT_AS or host memory pressure)", resource="memory",
+        )
+    if isinstance(exc, RecursionError):
+        return ResourceExhaustedError(
+            "cell exhausted the interpreter stack (RecursionError)",
+            resource="size",
+        )
+    return exc

@@ -1,0 +1,269 @@
+"""Boundary validation: one typed pass over every untrusted input shape.
+
+The math layers (decomposition, allocation, best response) assume
+well-formed instances -- finite non-negative weights, simple graphs,
+consistent sizes.  Anything that enters from *outside* the process (JSON
+files, corpus records, checkpoint journals, CLI arguments, fuzzed bytes)
+goes through the predicates here first, so malformed input dies at the
+boundary with a :class:`~repro.exceptions.MalformedInputError` instead of
+surfacing deep inside the parametric machinery as a ``ZeroDivisionError``,
+an ``IndexError``, or -- worst -- a silently computed ``alpha = nan``.
+
+Every predicate is pure and cheap (no graph is constructed here); the
+constructors in :mod:`repro.graphs` and :mod:`repro.flow` keep their own
+structural checks and this layer handles the representation-level garbage
+those checks were never meant to see.
+
+A process-wide switch (:func:`set_validation` / :func:`validation_enabled`)
+lets trusted hot paths opt out of the deep scalar re-checks; the default is
+on, and the fuzz harness asserts the on-path never crashes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from fractions import Fraction
+from operator import index as _as_index
+from typing import Any
+
+from ..exceptions import MalformedInputError
+from ..numeric import Scalar
+
+__all__ = [
+    "MAX_VERTICES",
+    "MAX_EDGES",
+    "check_scalar",
+    "scalar_from_json",
+    "validate_graph_dict",
+    "validate_network_dict",
+    "set_validation",
+    "validation_enabled",
+]
+
+#: Hard ceiling on vertex counts accepted from untrusted input.  Large
+#: enough for any sweep this library runs (the full-scale experiments top
+#: out at n = 64), small enough that an adversarial ``"n": 10**18`` is
+#: rejected before a single adjacency list is allocated.
+MAX_VERTICES = 1 << 22
+
+#: Matching ceiling on edge/arc list lengths.
+MAX_EDGES = 1 << 24
+
+_FRACTION_RE = re.compile(r"^(-?\d+)/(\d+)$")
+
+#: Process-wide validation switch (see :func:`set_validation`).
+_VALIDATION = True
+
+
+def set_validation(enabled: bool) -> bool:
+    """Toggle deep boundary validation process-wide; returns the old value.
+
+    The fast path (``enabled=False``) is for trusted internal
+    reconstructions -- e.g. re-materializing thousands of checkpointed
+    cells whose scalars were validated when first computed.  Public entry
+    points never consult this switch for *shape* checks, only for the
+    per-scalar re-checks.
+    """
+    global _VALIDATION
+    old = _VALIDATION
+    _VALIDATION = bool(enabled)
+    return old
+
+
+def validation_enabled() -> bool:
+    return _VALIDATION
+
+
+def _reject(what: str, obj: Any) -> MalformedInputError:
+    return MalformedInputError(f"{what}: {obj!r}")
+
+
+def check_scalar(
+    value: Any,
+    *,
+    what: str = "scalar",
+    allow_negative: bool = False,
+    allow_positive_inf: bool = False,
+) -> Scalar:
+    """Validate one in-memory scalar; returns it unchanged.
+
+    Rejects non-numeric types (strings, None, bools, containers), NaN,
+    infinities (``allow_positive_inf`` admits ``+inf`` for the flow
+    networks' unbounded bipartite arcs), and -- unless ``allow_negative``
+    -- negative values.  ``bool`` is rejected explicitly even though it
+    subclasses ``int``: a weight of ``True`` is always a serialization bug
+    upstream.
+    """
+    if not _VALIDATION:
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float, Fraction)):
+        raise _reject(f"{what} is not a number", value)
+    if isinstance(value, float) and not math.isfinite(value):
+        if not (allow_positive_inf and value == math.inf):
+            raise _reject(f"{what} is not finite", value)
+    if not allow_negative and value < 0:
+        raise _reject(f"{what} is negative", value)
+    return value
+
+
+def scalar_from_json(obj: Any, *, what: str = "scalar",
+                     allow_negative: bool = False,
+                     allow_positive_inf: bool = False) -> Scalar:
+    """Decode one exact-serialized scalar with full boundary validation.
+
+    Accepts the three encodings :mod:`repro.io.serialization` writes --
+    plain int/float, ``{"frac": "p/q"}``, ``{"float": "<hex>"}`` -- and
+    raises :class:`MalformedInputError` for everything else: unknown
+    encodings, malformed or zero-denominator fraction strings, hex strings
+    that decode to NaN/Inf, and negative values where the consumer
+    (weights, capacities) requires non-negative.
+    """
+    if isinstance(obj, dict):
+        if len(obj) != 1:
+            # {"frac": ..., "float": ...} is ambiguous; which encoding wins
+            # would depend on key-check order, so refuse outright.
+            raise _reject(f"{what} encoding must have exactly one key", obj)
+        if "frac" in obj:
+            text = obj["frac"]
+            if not isinstance(text, str):
+                raise _reject(f"{what} fraction encoding is not a string", text)
+            m = _FRACTION_RE.match(text)
+            if m is None:
+                raise _reject(f"{what} is not a 'p/q' fraction", text)
+            num, den = int(m.group(1)), int(m.group(2))
+            if den == 0:
+                raise _reject(f"{what} has a zero denominator", text)
+            return check_scalar(Fraction(num, den), what=what,
+                                allow_negative=allow_negative,
+                                allow_positive_inf=allow_positive_inf)
+        if "float" in obj:
+            text = obj["float"]
+            if not isinstance(text, str):
+                raise _reject(f"{what} float encoding is not a hex string", text)
+            try:
+                value = float.fromhex(text)
+            except (ValueError, OverflowError) as exc:
+                raise MalformedInputError(
+                    f"{what} is not a valid float hex string: {text!r} ({exc})"
+                ) from exc
+            return check_scalar(value, what=what, allow_negative=allow_negative,
+                                allow_positive_inf=allow_positive_inf)
+        raise _reject(f"unknown {what} encoding", obj)
+    return check_scalar(obj, what=what, allow_negative=allow_negative,
+                        allow_positive_inf=allow_positive_inf)
+
+
+def _check_count(obj: Any, what: str, limit: int) -> int:
+    """An exact non-negative integer bounded by ``limit``."""
+    if isinstance(obj, bool):
+        raise _reject(f"{what} is not an integer", obj)
+    try:
+        n = _as_index(obj)
+    except TypeError as exc:
+        raise _reject(f"{what} is not an integer", obj) from exc
+    if n < 0:
+        raise _reject(f"{what} is negative", n)
+    if n > limit:
+        raise MalformedInputError(
+            f"{what} {n} exceeds the boundary limit {limit}; refusing to "
+            f"materialize"
+        )
+    return n
+
+
+def _check_endpoint(obj: Any, n: int, what: str) -> int:
+    if isinstance(obj, bool):
+        raise _reject(f"{what} endpoint is not an integer", obj)
+    try:
+        u = _as_index(obj)
+    except TypeError as exc:
+        raise _reject(f"{what} endpoint is not an integer", obj) from exc
+    if not 0 <= u < n:
+        raise MalformedInputError(f"{what} endpoint {u} out of range for n={n}")
+    return u
+
+
+def validate_graph_dict(d: Any) -> dict:
+    """Shape-validate a ``graph_to_dict`` payload; returns ``d`` unchanged.
+
+    Checks everything that must hold *before* ``WeightedGraph`` is asked to
+    construct: the payload is a dict with integer ``n`` (bounded by
+    :data:`MAX_VERTICES`), ``edges`` is a sequence of in-range integer
+    pairs, ``weights`` is a sequence of exactly ``n`` valid non-negative
+    scalars, and ``labels`` (if present) is ``n`` strings.  Structural
+    graph errors (duplicate edges, self-loops) are left to the constructor,
+    which raises the established :class:`~repro.exceptions.GraphError`
+    taxonomy.
+    """
+    if not isinstance(d, dict):
+        raise _reject("graph payload is not an object", type(d).__name__)
+    for key in ("n", "edges", "weights"):
+        if key not in d:
+            raise MalformedInputError(f"graph payload is missing field {key!r}")
+    n = _check_count(d["n"], "vertex count", MAX_VERTICES)
+    edges = d["edges"]
+    if not isinstance(edges, (list, tuple)):
+        raise _reject("graph edges is not a list", edges)
+    if len(edges) > MAX_EDGES:
+        raise MalformedInputError(
+            f"edge count {len(edges)} exceeds the boundary limit {MAX_EDGES}"
+        )
+    for e in edges:
+        if not isinstance(e, (list, tuple)) or len(e) != 2:
+            raise _reject("graph edge is not a (u, v) pair", e)
+        _check_endpoint(e[0], n, "edge")
+        _check_endpoint(e[1], n, "edge")
+    weights = d["weights"]
+    if not isinstance(weights, (list, tuple)):
+        raise _reject("graph weights is not a list", weights)
+    if len(weights) != n:
+        raise MalformedInputError(
+            f"graph payload has {len(weights)} weights for n={n}"
+        )
+    if _VALIDATION:
+        for i, w in enumerate(weights):
+            scalar_from_json(w, what=f"weight of vertex {i}")
+    labels = d.get("labels")
+    if labels is not None:
+        if not isinstance(labels, (list, tuple)) or len(labels) != n:
+            raise _reject(f"graph labels is not a list of {n} strings", labels)
+        for lab in labels:
+            if not isinstance(lab, str):
+                raise _reject("graph label is not a string", lab)
+    return d
+
+
+def validate_network_dict(d: Any) -> dict:
+    """Shape-validate a ``network_to_dict`` payload; returns ``d`` unchanged.
+
+    Mirrors :func:`validate_graph_dict` for flow networks: integer ``n``
+    with at least a source and a sink, and ``arcs`` as a bounded sequence
+    of ``[u, v, capacity]`` triples with in-range endpoints and valid
+    non-negative capacity encodings.
+    """
+    if not isinstance(d, dict):
+        raise _reject("network payload is not an object", type(d).__name__)
+    for key in ("n", "arcs"):
+        if key not in d:
+            raise MalformedInputError(f"network payload is missing field {key!r}")
+    n = _check_count(d["n"], "node count", MAX_VERTICES)
+    if n < 2:
+        raise MalformedInputError(
+            f"network payload needs at least a source and a sink, got n={n}"
+        )
+    arcs = d["arcs"]
+    if not isinstance(arcs, (list, tuple)):
+        raise _reject("network arcs is not a list", arcs)
+    if len(arcs) > MAX_EDGES:
+        raise MalformedInputError(
+            f"arc count {len(arcs)} exceeds the boundary limit {MAX_EDGES}"
+        )
+    for a in arcs:
+        if not isinstance(a, (list, tuple)) or len(a) != 3:
+            raise _reject("network arc is not a [u, v, cap] triple", a)
+        _check_endpoint(a[0], n, "arc")
+        _check_endpoint(a[1], n, "arc")
+        if _VALIDATION:
+            scalar_from_json(a[2], what="arc capacity", allow_positive_inf=True)
+    return d

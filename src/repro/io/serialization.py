@@ -14,9 +14,10 @@ import json
 from fractions import Fraction
 from typing import Any
 
-from ..exceptions import ReproError
+from ..exceptions import MalformedInputError
 from ..flow.network import FlowNetwork
 from ..graphs import WeightedGraph
+from ..guard import scalar_from_json, validate_graph_dict, validate_network_dict
 from ..numeric import Scalar
 
 __all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph",
@@ -33,16 +34,16 @@ def _scalar_to_json(w: Scalar) -> Any:
 
 
 def _scalar_from_json(obj: Any) -> Scalar:
-    if isinstance(obj, dict):
-        if "frac" in obj:
-            num, den = obj["frac"].split("/")
-            return Fraction(int(num), int(den))
-        if "float" in obj:
-            return float.fromhex(obj["float"])
-        raise ReproError(f"unknown scalar encoding {obj!r}")
-    if isinstance(obj, (int, float)):
-        return obj
-    raise ReproError(f"unknown scalar encoding {obj!r}")
+    """Decode one exact-serialized scalar, boundary-validated.
+
+    Delegates to :func:`repro.guard.scalar_from_json`: non-finite,
+    negative, and non-numeric encodings (including zero-denominator and
+    malformed ``"p/q"`` strings) raise a typed
+    :class:`~repro.exceptions.MalformedInputError` here at the boundary
+    instead of constructing an invalid instance that fails deep inside the
+    decomposition.
+    """
+    return scalar_from_json(obj)
 
 
 def graph_to_dict(g: WeightedGraph) -> dict:
@@ -56,15 +57,20 @@ def graph_to_dict(g: WeightedGraph) -> dict:
 
 
 def graph_from_dict(d: dict) -> WeightedGraph:
-    try:
-        return WeightedGraph(
-            d["n"],
-            [tuple(e) for e in d["edges"]],
-            [_scalar_from_json(w) for w in d["weights"]],
-            d.get("labels"),
-        )
-    except KeyError as exc:
-        raise ReproError(f"missing graph field {exc}") from exc
+    """Construct a graph from an untrusted ``graph_to_dict`` payload.
+
+    The payload shape and every scalar are validated first
+    (:func:`repro.guard.validate_graph_dict`); structural problems the
+    shape pass cannot see (duplicate edges, self-loops) still raise the
+    constructor's :class:`~repro.exceptions.GraphError` taxonomy.
+    """
+    validate_graph_dict(d)
+    return WeightedGraph(
+        int(d["n"]),
+        [tuple(e) for e in d["edges"]],
+        [scalar_from_json(w) for w in d["weights"]],
+        d.get("labels"),
+    )
 
 
 def network_to_dict(net: FlowNetwork) -> dict:
@@ -82,13 +88,15 @@ def network_to_dict(net: FlowNetwork) -> dict:
 
 
 def network_from_dict(d: dict) -> FlowNetwork:
-    try:
-        net = FlowNetwork(d["n"])
-        for u, v, cap in d["arcs"]:
-            net.add_edge(u, v, _scalar_from_json(cap))
-        return net
-    except KeyError as exc:
-        raise ReproError(f"missing network field {exc}") from exc
+    """Construct a flow network from an untrusted ``network_to_dict``
+    payload, shape- and scalar-validated first (``+inf`` capacities are
+    legitimate -- the unbounded bipartite arcs of Definition 5)."""
+    validate_network_dict(d)
+    net = FlowNetwork(int(d["n"]))
+    for u, v, cap in d["arcs"]:
+        net.add_edge(int(u), int(v),
+                     scalar_from_json(cap, allow_positive_inf=True))
+    return net
 
 
 def dump_graph(g: WeightedGraph, path: str) -> None:
@@ -96,9 +104,20 @@ def dump_graph(g: WeightedGraph, path: str) -> None:
         json.dump(graph_to_dict(g), f, indent=2)
 
 
+def _load_json(path: str, what: str):
+    """Read one JSON document with typed boundary errors (bad bytes and
+    bad encodings become :class:`MalformedInputError`, not a stack trace
+    from ``json``); missing files keep raising ``OSError`` -- absence is
+    an environment problem, not malformed input."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise MalformedInputError(f"{what} {path} is not valid JSON: {exc}") from exc
+
+
 def load_graph(path: str) -> WeightedGraph:
-    with open(path) as f:
-        return graph_from_dict(json.load(f))
+    return graph_from_dict(_load_json(path, "graph file"))
 
 
 def dump_result(result: dict, path: str) -> None:
@@ -108,8 +127,12 @@ def dump_result(result: dict, path: str) -> None:
 
 
 def load_result(path: str) -> dict:
-    with open(path) as f:
-        return json.load(f)
+    out = _load_json(path, "result file")
+    if not isinstance(out, dict):
+        raise MalformedInputError(
+            f"result file {path} is not a JSON object: {type(out).__name__}"
+        )
+    return out
 
 
 def _default(obj):

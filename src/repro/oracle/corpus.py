@@ -44,8 +44,11 @@ CORPUS_FORMAT = 1
 #: Conventional corpus location at the repository root.
 DEFAULT_CORPUS_DIR = "corpus"
 
-#: Kinds a record may carry; the replayer dispatches on this.
-KINDS = ("flow", "decomposition", "allocation", "best_response")
+#: Kinds a record may carry; the replayer dispatches on this.  ``fuzz``
+#: records carry a *raw* (possibly malformed) graph payload dict found by
+#: the ``repro-fuzz`` harness; replaying one re-runs the guarded pipeline
+#: and reproduces iff an untyped exception or a NaN/Inf result escapes.
+KINDS = ("flow", "decomposition", "allocation", "best_response", "fuzz")
 
 
 def backend_to_dict(backend: Backend) -> dict:
@@ -105,8 +108,13 @@ class FailureRecord:
 
     @classmethod
     def from_dict(cls, d: dict) -> "FailureRecord":
+        if not isinstance(d, dict):
+            raise CorpusError(
+                f"corpus record is not an object: {type(d).__name__}")
         try:
             fmt = d["format"]
+            if not isinstance(fmt, int) or isinstance(fmt, bool):
+                raise CorpusError(f"record format is not an integer: {fmt!r}")
             if fmt > CORPUS_FORMAT:
                 raise CorpusError(
                     f"record format {fmt} is newer than supported {CORPUS_FORMAT}"
@@ -121,6 +129,10 @@ class FailureRecord:
             )
         except KeyError as exc:
             raise CorpusError(f"missing record field {exc}") from exc
+        except (TypeError, ValueError) as exc:
+            # dict()/comparison blowing up on wrong-shaped fields: typed
+            # refusal, never a raw traceback out of corpus ingestion.
+            raise CorpusError(f"malformed record field: {exc}") from exc
 
 
 class FailureCorpus:

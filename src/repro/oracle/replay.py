@@ -87,6 +87,8 @@ def replay_record(
             problems = _replay_allocation(rec, ctx, level == "paranoid")
         elif rec.kind == "best_response":
             problems = _replay_best_response(rec, ctx)
+        elif rec.kind == "fuzz":
+            problems = _replay_fuzz(rec, ctx)
         else:  # pragma: no cover - FailureRecord validates kinds
             raise CorpusError(f"unknown record kind {rec.kind!r}")
     except CorpusError:
@@ -159,6 +161,28 @@ def _replay_best_response(rec: FailureRecord, ctx: EngineContext) -> list[str]:
     br = best_split(g, v, grid=rec.payload.get("grid", 32),
                     backend=ctx.backend, ctx=ctx)
     return best_response_problems(g, v, br)
+
+
+def _replay_fuzz(rec: FailureRecord, ctx: EngineContext) -> list[str]:
+    # Lazy: repro.guard.fuzz imports the whole public API, and the guard
+    # package deliberately keeps it out of eager import chains.
+    from ..guard.fuzz import run_pipeline
+
+    level = rec.context.get("level", "off")
+    if level and level != "off":
+        # Audit-level escapes (e.g. a reference oracle crashing inside the
+        # differential layer) only manifest with the auditor attached.
+        from .audit import attach_auditor
+
+        attach_auditor(ctx, level=level)
+    outcome = run_pipeline(
+        rec.payload["graph"], ctx, grid=rec.payload.get("grid", 6)
+    )
+    if outcome.status in ("ok", "rejected"):
+        # Typed rejection IS the hardening contract holding: the payload a
+        # fuzz campaign once crashed on is now refused (or handled) cleanly.
+        return []
+    return [f"{outcome.status} at {outcome.stage}: {outcome.detail}"]
 
 
 def replay_corpus(

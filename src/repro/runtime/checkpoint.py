@@ -85,14 +85,28 @@ def decode_value(obj):
             num, den = obj[1].split("/")
             return Fraction(int(num), int(den))
         if tag == "f":
+            if not isinstance(obj[1], str):
+                raise CheckpointError(
+                    f"float checkpoint value must be a hex string, got {obj[1]!r}"
+                )
             return float.fromhex(obj[1])
         if tag == "i":
+            if isinstance(obj[1], float):
+                raise CheckpointError(
+                    f"integer checkpoint value holds a float: {obj[1]!r}"
+                )
             return int(obj[1])
         if tag == "l":
             return [decode_value(v) for v in obj[1]]
         if tag == "m":
             return {k: decode_value(v) for k, v in obj[1]}
-    except (TypeError, ValueError, IndexError) as exc:
+    except (TypeError, ValueError, IndexError, KeyError,
+            ZeroDivisionError, AttributeError) as exc:
+        # AttributeError: a "q"/"m" payload of the wrong type (e.g. None
+        # where a "p/q" string belongs) must refuse typed like the rest.
+        # ZeroDivisionError: a hand-mangled "p/0" Fraction must refuse with
+        # the typed error like every other wrong-type scalar, never leak an
+        # arithmetic traceback out of a resume.
         raise CheckpointError(f"malformed checkpoint value {obj!r}: {exc}") from exc
     raise CheckpointError(f"unknown checkpoint value tag {obj!r}")
 
@@ -131,8 +145,12 @@ class CheckpointJournal:
         return journal
 
     def _load_existing(self) -> None:
-        with open(self.path) as fh:
-            lines = fh.read().splitlines()
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        blobs = raw.split(b"\n")
+        if blobs and blobs[-1] == b"":
+            blobs.pop()  # file ends with a newline, as every clean write does
+        lines = [b.decode("utf-8", errors="replace") for b in blobs]
         if not lines:
             raise CheckpointError(f"checkpoint {self.path} is empty (no header)")
         try:
@@ -141,6 +159,11 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"checkpoint {self.path} has a malformed header: {exc}"
             ) from exc
+        if not isinstance(header, dict):
+            raise CheckpointError(
+                f"checkpoint {self.path} header is not an object: "
+                f"{type(header).__name__}"
+            )
         fmt = header.get("format")
         if fmt != CHECKPOINT_FORMAT:
             raise CheckpointError(
@@ -159,10 +182,17 @@ class CheckpointJournal:
             try:
                 entry = json.loads(line)
                 self.done[entry["k"]] = decode_value(entry["v"])
-            except (json.JSONDecodeError, KeyError, CheckpointError):
+            except (json.JSONDecodeError, KeyError, TypeError, CheckpointError):
                 if i == len(lines):
                     # Torn final line: the write in flight when the run was
-                    # killed.  Drop it; the cell will be recomputed.
+                    # killed.  Drop it -- and physically truncate it, or the
+                    # next append would concatenate onto the torn fragment
+                    # and corrupt that record too (the cell is recomputed).
+                    keep = sum(len(b) + 1 for b in blobs[:i - 1])
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(keep)
+                        fh.flush()
+                        os.fsync(fh.fileno())
                     break
                 raise CheckpointError(
                     f"checkpoint {self.path} line {i} is corrupt mid-file"

@@ -60,6 +60,21 @@ class RuntimePolicy:
         Consecutive worker deaths without a single completed cell before
         the supervisor declares the pool unrecoverable and degrades to
         serial in-process execution.
+    max_memory_mb:
+        Per-worker address-space envelope (``RLIMIT_AS``), in MiB.  A cell
+        that balloons past it gets a typed, retryable
+        :class:`~repro.exceptions.ResourceExhaustedError` from the worker
+        instead of OOM-killing the pool.  ``None`` disables the envelope.
+    max_cpu_seconds:
+        Per-worker CPU-time envelope (``RLIMIT_CPU``), in seconds of CPU
+        time (distinct from the wall-clock ``timeout``).  The kernel kills
+        a worker that exceeds it; the supervisor requeues its cell through
+        the crash/retry path.  ``None`` disables the envelope.
+    max_bruteforce_n:
+        Size cap for the exponential brute-force oracles, installed in
+        each worker (and around guarded serial cells); instances above it
+        raise :class:`~repro.exceptions.ResourceExhaustedError` before a
+        ``2^n`` enumeration starts.  ``None`` keeps the library default.
     """
 
     timeout: Optional[float] = None
@@ -72,6 +87,9 @@ class RuntimePolicy:
     checkpoint: Optional[str] = None
     faults: Optional[str] = None
     max_pool_failures: int = 3
+    max_memory_mb: Optional[float] = None
+    max_cpu_seconds: Optional[float] = None
+    max_bruteforce_n: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -88,6 +106,15 @@ class RuntimePolicy:
             raise EngineError("poll_interval must be positive")
         if self.max_pool_failures < 1:
             raise EngineError("max_pool_failures must be >= 1")
+        if self.max_memory_mb is not None and self.max_memory_mb <= 0:
+            raise EngineError(
+                f"max_memory_mb must be positive, got {self.max_memory_mb}")
+        if self.max_cpu_seconds is not None and self.max_cpu_seconds <= 0:
+            raise EngineError(
+                f"max_cpu_seconds must be positive, got {self.max_cpu_seconds}")
+        if self.max_bruteforce_n is not None and self.max_bruteforce_n < 1:
+            raise EngineError(
+                f"max_bruteforce_n must be >= 1, got {self.max_bruteforce_n}")
 
     @property
     def supervised(self) -> bool:
@@ -98,6 +125,9 @@ class RuntimePolicy:
             or self.retries > 0
             or self.checkpoint is not None
             or self.faults is not None
+            or self.max_memory_mb is not None
+            or self.max_cpu_seconds is not None
+            or self.max_bruteforce_n is not None
         )
 
     def backoff(self, attempt: int) -> float:

@@ -53,6 +53,12 @@ from ..exceptions import (
     is_escalatable,
     is_retryable,
 )
+from ..guard.resources import (
+    apply_rlimits,
+    envelope_from_policy,
+    set_bruteforce_limit,
+    translate_resource_errors,
+)
 from .checkpoint import CheckpointJournal
 from .faults import current_injector, install_injector, parse_fault_spec
 from .policy import RuntimePolicy
@@ -90,7 +96,18 @@ def run_cell(
             if injector is not None:
                 injector.fire("worker", index=index, attempt=attempt)
                 injector.fire("cell", index=index, attempt=attempt)
-            return fn(item)
+            prev_limit = (set_bruteforce_limit(policy.max_bruteforce_n)
+                          if policy.max_bruteforce_n is not None else None)
+            try:
+                return fn(item)
+            except (MemoryError, RecursionError) as exc:
+                # In-process we cannot setrlimit (it would cap the host
+                # run), but exhaustion still becomes the typed, retryable
+                # error so the recovery ladder below applies.
+                raise translate_resource_errors(exc) from exc
+            finally:
+                if prev_limit is not None:
+                    set_bruteforce_limit(prev_limit)
         except Exception as exc:
             if not is_retryable(exc):
                 raise
@@ -110,14 +127,27 @@ def run_cell(
 # worker side
 # ---------------------------------------------------------------------------
 
-def _worker_main(task_q, result_q, fn, fault_spec: Optional[str]) -> None:
+def _worker_main(task_q, result_q, fn, fault_spec: Optional[str],
+                 envelope: Optional[tuple] = None,
+                 max_bruteforce_n: Optional[int] = None) -> None:
     """Worker loop: pull ``(index, attempt, item)``, push results/failures.
 
     Each worker process installs its own injector from the picklable spec
     string (worker state never crosses the process boundary), so
     index-keyed rules fire deterministically on whichever worker draws the
     matching cell.  ``None`` is the shutdown sentinel.
+
+    ``envelope`` is the picklable ``(max_memory_mb, max_cpu_seconds)``
+    resource envelope: applied via ``setrlimit`` before any cell runs, so
+    a memory-ballooning cell fails with a catchable ``MemoryError``
+    (reported as a typed ``ResourceExhaustedError``) instead of the kernel
+    OOM-killing the worker, and a CPU-runaway cell is killed by the kernel
+    at the CPU budget (surfacing as a crash the supervisor requeues).
     """
+    if envelope is not None:
+        apply_rlimits(*envelope)
+    if max_bruteforce_n is not None:
+        set_bruteforce_limit(max_bruteforce_n)
     injector = None
     if fault_spec:
         injector = install_injector(parse_fault_spec(fault_spec), in_worker=True)
@@ -132,6 +162,7 @@ def _worker_main(task_q, result_q, fn, fault_spec: Optional[str]) -> None:
                 injector.fire("cell", index=index, attempt=attempt)
             result_q.put((index, attempt, True, fn(item), None))
         except BaseException as exc:  # noqa: BLE001 - must report, not die
+            exc = translate_resource_errors(exc)
             result_q.put((
                 index, attempt, False, None,
                 {
@@ -195,7 +226,9 @@ class _Supervisor:
         result_q = self.mctx.Queue()
         proc = self.mctx.Process(
             target=_worker_main,
-            args=(task_q, result_q, self.fn, self.policy.faults),
+            args=(task_q, result_q, self.fn, self.policy.faults,
+                  envelope_from_policy(self.policy),
+                  self.policy.max_bruteforce_n),
             daemon=True,
         )
         try:
@@ -432,7 +465,12 @@ def supervised_map(
     key_fn = key_fn if key_fn is not None else str
     items = list(items)
 
-    if processes <= 0 or len(items) <= 1:
+    # A single item normally short-circuits to the serial path, but a
+    # resource envelope can only be enforced inside a real worker process
+    # (setrlimit is irreversible and process-wide, so it must never touch
+    # the host): honor the envelope even for one cell.
+    serial_single = len(items) <= 1 and envelope_from_policy(policy) is None
+    if processes <= 0 or serial_single:
         injector = current_injector()
         out: list = []
         for idx, item in enumerate(items):

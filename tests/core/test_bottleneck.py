@@ -18,7 +18,11 @@ from repro.core import (
     brute_force_min_alpha,
     maximal_bottleneck,
 )
-from repro.exceptions import DecompositionError, GraphError
+from repro.exceptions import (
+    DecompositionError,
+    GraphError,
+    ResourceExhaustedError,
+)
 from repro.graphs import (
     WeightedGraph,
     complete,
@@ -254,8 +258,11 @@ def test_brute_force_min_alpha():
 
 
 def test_brute_force_guards_size():
+    # The size refusal is a *resource* error now (retryable, so a
+    # supervised sweep can degrade to the parametric path) rather than a
+    # DecompositionError: nothing about the instance is wrong.
     g = complete([1] * 19)
-    with pytest.raises(DecompositionError):
+    with pytest.raises(ResourceExhaustedError):
         brute_force_min_alpha(g)
 
 

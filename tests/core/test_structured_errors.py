@@ -53,7 +53,9 @@ def test_overflow_ring_raises_typed_instability_not_silent_nan():
     g = ring((1e308, 5e307, 1e308))
     with pytest.raises(NumericalInstabilityError) as ei:
         bottleneck_decomposition(g)
-    assert "finite" in str(ei.value)
+    # Caught either at the engine's finiteness boundary or earlier, by the
+    # network constructor's NaN-capacity guard; both are the same typed class.
+    assert "finite" in str(ei.value) or "NaN" in str(ei.value)
     assert is_retryable(ei.value) and is_escalatable(ei.value)
 
 

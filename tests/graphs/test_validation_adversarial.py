@@ -1,0 +1,156 @@
+"""Adversarial inputs through the post-construction validators.
+
+The ``validate=False`` fast path exists for trusted internal
+reconstructions, which means garbage *can* be smuggled into a real
+``WeightedGraph``.  These tests assert the defense in depth: the
+post-construction validators (``require_positive_weights``,
+``require_finite_weights``, ``require_simple``, ``require_ring``)
+re-derive the properties structurally and refuse smuggled garbage with
+the typed taxonomy -- NaN weights, multigraph rings, self-loop rings.
+"""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError, InvalidWeightError
+from repro.graphs import (
+    WeightedGraph,
+    require_finite_weights,
+    require_positive_weights,
+    require_ring,
+    require_simple,
+)
+
+
+def fast_path(n, edges, weights):
+    return WeightedGraph(n, edges, weights, validate=False)
+
+
+RING3 = [(0, 1), (1, 2), (0, 2)]
+
+
+# -- weight validators -----------------------------------------------------
+
+def test_nan_weight_fails_require_positive():
+    # NaN compares False against everything, so ``w > 0`` is False by IEEE
+    # semantics -- the validator catches it without an explicit isnan.
+    g = fast_path(3, RING3, [1.0, float("nan"), 1.0])
+    with pytest.raises(InvalidWeightError):
+        require_positive_weights(g)
+
+
+def test_inf_weight_fails_require_positive():
+    g = fast_path(3, RING3, [1.0, math.inf, 1.0])
+    with pytest.raises(InvalidWeightError):
+        require_positive_weights(g)
+
+
+def test_nan_weight_fails_require_finite():
+    g = fast_path(3, RING3, [1.0, float("nan"), 0.0])
+    with pytest.raises(InvalidWeightError):
+        require_finite_weights(g)
+
+
+def test_non_number_weight_fails_require_finite_typed():
+    g = fast_path(3, RING3, [1.0, "heavy", 1.0])
+    with pytest.raises(InvalidWeightError):
+        require_finite_weights(g)
+
+
+def test_negative_weight_fails_both():
+    g = fast_path(3, RING3, [1.0, -2.0, 1.0])
+    with pytest.raises(InvalidWeightError):
+        require_positive_weights(g)
+    with pytest.raises(InvalidWeightError):
+        require_finite_weights(g)
+
+
+def test_zero_weight_passes_finite_but_not_positive():
+    g = fast_path(3, RING3, [1.0, 0.0, 1.0])
+    require_finite_weights(g)
+    with pytest.raises(InvalidWeightError):
+        require_positive_weights(g)
+
+
+def test_clean_graph_passes_all():
+    g = WeightedGraph(3, RING3, [1.0, 2.0, 3.0])
+    require_positive_weights(g)
+    require_finite_weights(g)
+    require_simple(g)
+    require_ring(g)
+
+
+# -- structural validators -------------------------------------------------
+
+def test_multigraph_ring_fails_require_ring():
+    # Degree-2 everywhere and connected, but via a duplicated edge: the
+    # naive is_ring degree count would pass; require_simple re-derives
+    # simplicity from the adjacency structure.
+    g = fast_path(3, [(0, 1), (0, 1), (1, 2), (0, 2)][:3] + [(0, 2)],
+                  [1.0, 1.0, 1.0])
+    with pytest.raises(GraphError):
+        require_ring(g)
+
+
+def test_duplicate_edge_fails_require_simple():
+    g = fast_path(3, [(0, 1), (1, 0), (1, 2)], [1.0, 1.0, 1.0])
+    with pytest.raises(GraphError):
+        require_simple(g)
+
+
+def test_self_loop_ring_fails_require_ring():
+    # Each vertex has degree 2 if self-loops count double -- a classic
+    # smuggle that must not pass for a "ring".
+    g = fast_path(3, [(0, 0), (1, 2), (2, 1)][:2] + [(1, 1)],
+                  [1.0, 1.0, 1.0])
+    with pytest.raises(GraphError):
+        require_ring(g)
+
+
+def test_self_loop_fails_require_simple():
+    g = fast_path(2, [(0, 0)], [1.0, 1.0])
+    with pytest.raises(GraphError):
+        require_simple(g)
+
+
+def test_path_is_not_a_ring():
+    g = WeightedGraph(4, [(0, 1), (1, 2), (2, 3)], [1.0] * 4)
+    require_simple(g)
+    with pytest.raises(GraphError):
+        require_ring(g)
+
+
+def test_two_triangles_are_not_a_ring():
+    # Disconnected 2-regular graph: degree test alone would accept it.
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    g = WeightedGraph(6, edges, [1.0] * 6)
+    require_simple(g)
+    with pytest.raises(GraphError):
+        require_ring(g)
+
+
+# -- constructor strictness (the validate=True default) --------------------
+
+def test_constructor_rejects_what_fast_path_admits():
+    with pytest.raises(GraphError):
+        WeightedGraph(3, [(0, 1), (0, 1), (1, 2)], [1.0] * 3)
+    with pytest.raises(GraphError):
+        WeightedGraph(3, [(0, 0), (1, 2), (0, 2)], [1.0] * 3)
+    with pytest.raises(InvalidWeightError):
+        WeightedGraph(3, RING3, [1.0, float("nan"), 1.0])
+    with pytest.raises(InvalidWeightError):
+        WeightedGraph(3, RING3, [1.0, math.inf, 1.0])
+    with pytest.raises(GraphError):
+        WeightedGraph(3, [(0, 1.5), (1, 2), (0, 2)], [1.0] * 3)
+
+
+def test_fast_path_skips_but_structure_is_intact():
+    # The fast path must still build usable adjacency so validators can
+    # inspect the real structure (not a half-initialized object).
+    g = fast_path(3, RING3, [1.0, float("nan"), 1.0])
+    assert g.degree(0) == 2
+    assert set(g.neighbors(1)) == {0, 2}
+    assert g.is_ring()   # raw predicate: structure is ring-shaped...
+    with pytest.raises(InvalidWeightError):
+        require_positive_weights(g)  # ...but the weights are garbage

@@ -1,0 +1,175 @@
+"""The fuzz harness itself: determinism, contract enforcement, filing, CLI.
+
+The harness is part of the trusted computing base for the robustness
+claim, so it gets its own tests: same seed -> same campaign, clean
+instances pass, known-bad payloads are classified as rejections (not
+crashes), survivors are filed as replayable ``fuzz`` corpus records, and
+the CLI exit codes match the contract.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.guard.cli import main as fuzz_main
+from repro.guard.fuzz import (
+    FuzzOutcome,
+    MUTATORS,
+    base_instance,
+    fuzz,
+    mutate,
+    run_pipeline,
+)
+from repro.io.serialization import graph_to_dict
+from repro.graphs import ring
+
+from random import Random
+
+
+def test_base_instances_are_well_formed_and_seeded():
+    a = [base_instance(Random(7)) for _ in range(10)]
+    b = [base_instance(Random(7)) for _ in range(10)]
+    assert a == b
+    for payload in a:
+        out = run_pipeline(payload)
+        assert out.status == "ok", (out, payload)
+
+
+def test_mutations_are_seeded():
+    base = base_instance(Random(3))
+    a = [mutate(Random(i), dict(base), rounds=2) for i in range(20)]
+    b = [mutate(Random(i), dict(base), rounds=2) for i in range(20)]
+    assert a == b
+
+
+def test_mutators_never_crash_the_pipeline():
+    # Every mutator, many seeds: outcomes must be ok/rejected, never an
+    # untyped escape.  This is the hardening contract in miniature.
+    for seed in range(30):
+        rng = Random(seed)
+        payload = base_instance(rng)
+        for name, fn in MUTATORS:
+            out = run_pipeline(fn(rng, dict(payload)))
+            assert out.status in ("ok", "rejected"), (name, out)
+
+
+def test_campaign_is_deterministic():
+    a = fuzz(iterations=40, seed=11, iter_timeout=None)
+    b = fuzz(iterations=40, seed=11, iter_timeout=None)
+    assert a.counts == b.counts
+    assert a.rejected_by == b.rejected_by
+    assert a.iterations == 40
+
+
+def test_campaign_smoke_holds_contract():
+    report = fuzz(iterations=80, seed=0, iter_timeout=None)
+    assert report.ok, report.survivors
+    assert report.counts.get("ok", 0) > 0          # clean stream sanity
+    assert report.counts.get("rejected", 0) > 0    # mutations actually bite
+
+
+def test_known_bad_payloads_classified_rejected():
+    nan_ring = graph_to_dict(ring([1.0, 1.0, 1.0]))
+    nan_ring["weights"][2] = {"float": float("nan").hex()}
+    assert run_pipeline(nan_ring).status == "rejected"
+    assert run_pipeline("not a dict").status == "rejected"
+    assert run_pipeline({"n": 10**18, "edges": [], "weights": []}).status == \
+        "rejected"
+
+
+def test_survivor_is_filed_and_replayable(tmp_path, monkeypatch):
+    # Force an escape by stubbing the pipeline: the filing path (shrink ->
+    # FailureRecord -> corpus) must produce a loadable fuzz-kind record.
+    import repro.guard.fuzz as fuzz_mod
+
+    crash = FuzzOutcome("crash", "decompose", "KeyError: 'synthetic'")
+
+    def fake_pipeline(payload, ctx=None, grid=6):
+        return crash
+
+    monkeypatch.setattr(fuzz_mod, "run_pipeline", fake_pipeline)
+    report = fuzz_mod.fuzz(iterations=1, seed=0,
+                           corpus_dir=str(tmp_path), iter_timeout=None)
+    assert not report.ok
+    assert len(report.corpus_paths) == 1
+    from repro.oracle.corpus import FailureCorpus
+
+    corpus = FailureCorpus(str(tmp_path))
+    records = list(corpus)
+    assert len(records) == 1
+    _, rec = records[0]
+    assert rec.kind == "fuzz"
+    assert "crash at decompose" in rec.problems[0]
+    assert "graph" in rec.payload
+
+
+def test_fuzz_records_replay_through_oracle(tmp_path):
+    from repro.oracle.corpus import FailureCorpus, FailureRecord, backend_to_dict
+    from repro.oracle.replay import replay_record
+    from repro.numeric import FLOAT
+
+    rec = FailureRecord(
+        kind="fuzz",
+        problems=("historical crash",),
+        context={"solver": "dinic", "backend": backend_to_dict(FLOAT),
+                 "zero_tol": 0.0, "level": "off"},
+        payload={"graph": graph_to_dict(ring([1, 2, 3, 4])), "grid": 6},
+    )
+    res = replay_record(rec)
+    assert res.kind == "fuzz"
+    assert not res.reproduced          # a healthy instance replays clean
+    bad = FailureRecord(
+        kind="fuzz",
+        problems=("witness",),
+        context=rec.context,
+        payload={"graph": {"n": 3, "edges": [[0, 1]], "weights": "zzz"},
+                 "grid": 6},
+    )
+    res = replay_record(bad)
+    assert not res.reproduced          # typed rejection == contract holds
+
+
+# -- CLI -------------------------------------------------------------------
+
+def test_cli_clean_run_exits_zero(capsys):
+    rc = fuzz_main(["--iterations", "30", "--seed", "0", "--iter-timeout", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "contract held" in out
+
+
+def test_cli_json_output(capsys):
+    rc = fuzz_main(["--iterations", "20", "--seed", "5", "--json",
+                    "--iter-timeout", "0"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["ok"] is True
+    assert payload["iterations"] == 20
+    assert payload["seed"] == 5
+
+
+def test_cli_rejects_bad_iterations(capsys):
+    assert fuzz_main(["--iterations", "0"]) == 2
+
+
+def test_cli_survivor_exits_one(tmp_path, monkeypatch, capsys):
+    import repro.guard.fuzz as fuzz_mod
+
+    def fake_pipeline(payload, ctx=None, grid=6):
+        return FuzzOutcome("nonfinite", "allocate", "utility = nan")
+
+    monkeypatch.setattr(fuzz_mod, "run_pipeline", fake_pipeline)
+    rc = fuzz_main(["--iterations", "1", "--seed", "0",
+                    "--corpus", str(tmp_path), "--iter-timeout", "0"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "SURVIVOR" in captured.out
+    assert "escape" in captured.err
+
+
+def test_audited_campaign_stays_clean():
+    # The paranoid auditor re-checks every accepted result; a short audited
+    # campaign shakes out disagreements between the engine and its oracles.
+    report = fuzz(iterations=25, seed=2, audit="paranoid", iter_timeout=None)
+    assert report.ok, report.survivors

@@ -1,0 +1,166 @@
+"""Malformed checkpoint journals must refuse resume with typed errors.
+
+A journal is untrusted input at resume time (it survived a kill -9, disk
+pressure, hand edits).  Truncated headers, wrong-type scalars, mangled
+fractions, and unknown tags must all surface as
+:class:`~repro.exceptions.CheckpointError` -- never a raw
+``ValueError``/``KeyError``/``ZeroDivisionError`` out of the resume path.
+The one deliberate exception stays: a torn *final* line is the in-flight
+write at kill time and is silently dropped.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.runtime.checkpoint import (
+    CheckpointJournal,
+    decode_value,
+    encode_value,
+)
+
+FP = "fingerprint-1"
+
+
+def write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines))
+
+
+def header(fingerprint=FP, fmt=1):
+    return json.dumps({"format": fmt, "fingerprint": fingerprint})
+
+
+def entry(key, value):
+    return json.dumps({"k": key, "v": encode_value(value)})
+
+
+# -- header damage ---------------------------------------------------------
+
+def test_empty_journal_refuses(tmp_path):
+    p = tmp_path / "j.ckpt"
+    p.write_text("")
+    with pytest.raises(CheckpointError, match="empty"):
+        CheckpointJournal.open(p, FP)
+
+
+def test_truncated_header_refuses(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, ['{"format": 1, "fingerp'])
+    with pytest.raises(CheckpointError, match="malformed header"):
+        CheckpointJournal.open(p, FP)
+
+
+def test_non_object_header_refuses(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, ["[1, 2, 3]", entry("a", 1)])
+    with pytest.raises(CheckpointError, match="not an object"):
+        CheckpointJournal.open(p, FP)
+
+
+def test_wrong_format_refuses(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [header(fmt=99), entry("a", 1)])
+    with pytest.raises(CheckpointError, match="format"):
+        CheckpointJournal.open(p, FP)
+
+
+def test_foreign_fingerprint_refuses(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [header(fingerprint="other-sweep"), entry("a", 1)])
+    with pytest.raises(CheckpointError, match="different run"):
+        CheckpointJournal.open(p, FP)
+
+
+# -- entry damage ----------------------------------------------------------
+
+def test_wrong_type_scalar_mid_file_refuses(tmp_path):
+    # A float entry whose hex payload was replaced by a raw number: the
+    # typed refusal must fire even though a torn *final* line is tolerated,
+    # because this entry is followed by a valid one (mid-file damage).
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [
+        header(),
+        json.dumps({"k": "a", "v": ["f", 1.5]}),   # hex string expected
+        entry("b", 2),
+    ])
+    with pytest.raises(CheckpointError, match="corrupt mid-file"):
+        CheckpointJournal.open(p, FP)
+
+
+def test_zero_denominator_fraction_refuses_typed(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [
+        header(),
+        json.dumps({"k": "a", "v": ["q", "1/0"]}),
+        entry("b", 2),
+    ])
+    with pytest.raises(CheckpointError):   # never a ZeroDivisionError
+        CheckpointJournal.open(p, FP)
+
+
+def test_float_tag_with_int_payload_refuses(tmp_path):
+    with pytest.raises(CheckpointError, match="hex string"):
+        decode_value(["f", 42])
+
+
+def test_int_tag_with_float_payload_refuses(tmp_path):
+    with pytest.raises(CheckpointError, match="holds a float"):
+        decode_value(["i", 1.5])
+
+
+def test_unknown_tag_refuses(tmp_path):
+    with pytest.raises(CheckpointError, match="unknown"):
+        decode_value(["x", 1])
+
+
+def test_garbage_value_shapes_refuse_typed():
+    for garbage in (None, 17, {}, [], ["q"], ["q", None], ["m", [["k"]]],
+                    ["l", 5], ["q", "banana"], ["i", "NaN"]):
+        with pytest.raises(CheckpointError):
+            decode_value(garbage)
+
+
+def test_missing_key_field_mid_file_refuses(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [
+        header(),
+        json.dumps({"key_typo": "a", "v": ["i", 1]}),
+        entry("b", 2),
+    ])
+    with pytest.raises(CheckpointError, match="corrupt mid-file"):
+        CheckpointJournal.open(p, FP)
+
+
+# -- the deliberate exception: torn final line -----------------------------
+
+def test_torn_final_line_is_dropped(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [header(), entry("a", 1)])
+    with open(p, "a") as f:
+        f.write('{"k": "b", "v": ["i", 2')   # kill -9 mid-write
+    j = CheckpointJournal.open(p, FP)
+    try:
+        assert "a" in j
+        assert "b" not in j     # the torn cell will be recomputed
+    finally:
+        j.close()
+
+
+def test_resume_after_torn_line_can_rewrite_cell(tmp_path):
+    p = tmp_path / "j.ckpt"
+    write_lines(p, [header(), entry("a", 1)])
+    with open(p, "a") as f:
+        f.write('{"k": "b"')
+    j = CheckpointJournal.open(p, FP)
+    try:
+        j.record("b", 2)
+        assert j.get("b") == 2
+    finally:
+        j.close()
+    again = CheckpointJournal.open(p, FP)
+    try:
+        assert again.get("a") == 1
+        assert again.get("b") == 2
+    finally:
+        again.close()
