@@ -5,13 +5,20 @@ experiment through ``pytest-benchmark`` (timing the harness), prints the
 reproduced rows (run with ``-s`` to see them), and asserts the experiment's
 internal shape checks -- so ``pytest benchmarks/ --benchmark-only`` is both
 a performance record and a reproduction certificate.
+
+Experiment runs execute under a traced :class:`~repro.engine.EngineContext`
+(``repro.obs`` spans), and the fixture prints the span breakdown next to
+the reproduced rows -- the same signal ``repro-bench`` records in
+``BENCH_<tag>.json``, here in human-readable form.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.engine import EngineContext, using_context
 from repro.experiments import run_experiment
+from repro.obs import Tracer
 
 
 @pytest.fixture
@@ -19,13 +26,29 @@ def run_and_report():
     """Run one experiment under the benchmark timer and report it."""
 
     def _run(benchmark, exp_id: str, scale: str = "smoke", seed: int = 0):
+        ctx = EngineContext()
+        ctx.tracer = Tracer()
+
+        def _traced():
+            # using_context so experiments whose run() has not grown a
+            # ``ctx`` parameter still resolve this traced context.
+            with using_context(ctx):
+                return run_experiment(exp_id, seed=seed, scale=scale, ctx=ctx)
+
         out = benchmark.pedantic(
-            lambda: run_experiment(exp_id, seed=seed, scale=scale),
+            _traced,
             rounds=1,
             iterations=1,
         )
         print()
         print(out.render())
+        spans = ctx.tracer.snapshot()
+        if spans:
+            print("spans (total/self/count):")
+            for path in sorted(spans):
+                s = spans[path]
+                print(f"  {path:40s} {s['total_s']:.4f}s {s['self_s']:.4f}s "
+                      f"x{s['count']}")
         failed = [c for c in out.checks if not c.ok]
         assert not failed, "; ".join(f"{c.name}: {c.details}" for c in failed)
         return out

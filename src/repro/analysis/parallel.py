@@ -28,8 +28,14 @@ configuration crosses as a frozen :class:`~repro.engine.EngineSpec` --
 never as a live :class:`~repro.engine.EngineContext`, whose cache and
 counters are per-process state -- and each worker memoizes one rebuilt
 context per spec so all of its cells share a decomposition cache.  Worker
-counters are process-local and discarded; only the serial path accumulates
-into the caller's context.
+counters and spans are *not* discarded: every rebuilt context registers
+with the :mod:`repro.obs.metrics` drain protocol, each cell ships its
+delta back (piggybacked on the cell result here, on the supervisor's
+result-queue messages in the supervised path), and the parent merges them
+into the caller's context -- so a parallel sweep's ``--stats`` totals
+match the serial run's (bit-identically so when the per-process
+decomposition cache is disabled, i.e. nothing scheduling-dependent can
+change how much work each cell performs).
 """
 
 from __future__ import annotations
@@ -41,6 +47,12 @@ from typing import Callable, Iterable, Optional, Sequence, TypeVar
 from ..engine import EngineContext, EngineSpec, resolve_context
 from ..graphs import WeightedGraph
 from ..numeric import EXACT
+from ..obs.metrics import (
+    absorb_metrics,
+    drain_worker_metrics,
+    register_worker_context,
+    sync_worker_metrics,
+)
 from ..runtime import RuntimePolicy, open_journal, resolve_policy, supervised_map
 
 __all__ = ["parallel_map", "parallel_incentive_sweep", "sweep_fingerprint"]
@@ -94,7 +106,24 @@ def _context_for(spec: EngineSpec | None) -> EngineContext | None:
     ctx = _WORKER_CONTEXTS.get(spec)
     if ctx is None:
         ctx = _WORKER_CONTEXTS.setdefault(spec, spec.build())
+        # Opt the rebuilt context into the cross-process metrics protocol:
+        # the work its counters (and tracer) accumulate is drained as deltas
+        # and merged back into whichever context owns the sweep.
+        register_worker_context(ctx)
     return ctx
+
+
+def _cell_with_metrics(fn: Callable[[T], R], args: T) -> tuple[R, Optional[dict]]:
+    """Run one cell and pair its value with the worker's metrics delta.
+
+    The legacy ``Pool.map`` path has no side channel next to the result
+    (unlike the supervisor's result-queue messages), so the delta rides in
+    the return tuple and the parent unwraps it.  Module-level so
+    ``functools.partial(_cell_with_metrics, _ratio_cell)`` stays picklable
+    under every start method.
+    """
+    value = fn(args)
+    return value, drain_worker_metrics()
 
 
 def _ratio_cell(args: tuple) -> float:
@@ -156,7 +185,10 @@ def parallel_incentive_sweep(
     even when instance sizes vary, then folds the per-vertex ratios back
     into per-instance maxima.  ``processes=None`` defers to ``ctx.workers``
     (serial for the default context); serial runs share ``ctx`` directly so
-    its counters and cache see every cell.
+    its counters and cache see every cell, and parallel runs merge every
+    worker's counter/span deltas back into ``ctx`` (see
+    :mod:`repro.obs.metrics`), so ``--stats`` reports true totals either
+    way.
 
     Supervision: when the resolved policy (explicit ``policy`` argument,
     else ``ctx.runtime``, else the inert default) enables timeouts,
@@ -185,10 +217,21 @@ def parallel_incentive_sweep(
 
         flat = [best_split(g, v, grid=grid, ctx=rctx).ratio for g, v in cells]
     elif not supervised:
+        import functools
+
         spec = rctx.spec()
         items = [(g, v, grid, spec) for g, v in cells]
-        flat = parallel_map(_ratio_cell, items, processes=procs,
-                            start_method=rpolicy.start_method)
+        # Discard deltas pending from earlier unrelated work *before* the
+        # pool exists, so forked workers inherit up-to-date drain marks and
+        # report only their own cells.
+        sync_worker_metrics()
+        pairs = parallel_map(functools.partial(_cell_with_metrics, _ratio_cell),
+                             items, processes=procs,
+                             start_method=rpolicy.start_method)
+        flat = [value for value, _ in pairs]
+        for _, delta in pairs:
+            absorb_metrics(delta, counters=rctx.counters,
+                           tracer=getattr(rctx, "tracer", None))
     else:
         spec = rctx.spec()
         items = [(g, v, grid, spec) for g, v in cells]
@@ -203,6 +246,7 @@ def parallel_incentive_sweep(
                 counters=rctx.counters,
                 escalate_fn=_ratio_cell_exact,
                 journal=journal,
+                tracer=getattr(rctx, "tracer", None),
             )
         finally:
             if journal is not None:

@@ -77,6 +77,10 @@ def _common(p: argparse.ArgumentParser) -> None:
                    help="disable the bottleneck-decomposition cache")
     p.add_argument("--stats", action="store_true",
                    help="print engine counters (flow calls, cache hits, timings)")
+    p.add_argument("--trace", action="store_true",
+                   help="attach a hierarchical span tracer to the engine; "
+                        "implies a span breakdown in the --stats report "
+                        "(worker spans are merged back for parallel sweeps)")
     p.add_argument("--audit", default="off",
                    choices=["off", "cheap", "differential", "paranoid"],
                    help="validate every engine operation as it runs "
@@ -129,6 +133,10 @@ def _engine_context(args: argparse.Namespace) -> EngineContext:
         cache_size=0 if args.no_cache else DEFAULT_CACHE_SIZE,
         workers=args.workers,
     )
+    if args.trace:
+        from .obs import Tracer
+
+        ctx.tracer = Tracer()
     if args.audit != "off":
         from .oracle import DEFAULT_CORPUS_DIR, attach_auditor
 

@@ -141,7 +141,7 @@ def bd_allocation(
     zero_tol = ctx.zero_tol
 
     ctx.counters.allocations += 1
-    with ctx.counters.timed("allocate"):
+    with ctx.counters.timed("allocate"), ctx.span("allocate"):
         for pair in decomp.pairs:
             alpha = pair.alpha
             if pair.is_unit:

@@ -248,7 +248,8 @@ def maximal_bottleneck(
     prev_lam = lam
     for _ in range(_MAX_DINKELBACH_ITERS):
         ctx.counters.dinkelbach_iterations += 1
-        S = _maximal_minimizer(g, active, lam, backend, ctx)
+        with ctx.span("dinkelbach"):
+            S = _maximal_minimizer(g, active, lam, backend, ctx)
         if not S:
             # Float-only corner: the last ratio was rounded a hair below the
             # true minimum, so at this lambda no nonempty set reaches
@@ -311,7 +312,7 @@ def bottleneck_decomposition(
         return cached
     ctx.counters.cache_misses += 1
 
-    with ctx.counters.timed("decompose"):
+    with ctx.counters.timed("decompose"), ctx.span("decompose"):
         check_no_isolated(g)
         if g.total_weight(backend) == 0:
             raise DecompositionError("graph has zero total weight; sharing is degenerate")

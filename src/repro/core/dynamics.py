@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import instance_signature
+from ..engine import EngineContext, instance_signature, resolve_context
 from ..exceptions import ConvergenceError
 from ..graphs import WeightedGraph
 
@@ -87,6 +87,7 @@ def proportional_response(
     tol: float = 1e-10,
     damping: float = 0.0,
     raise_on_failure: bool = False,
+    ctx: EngineContext | None = None,
 ) -> DynamicsResult:
     """Iterate Definition 1 until the allocation stabilizes.
 
@@ -99,7 +100,13 @@ def proportional_response(
     raise_on_failure:
         Raise :class:`ConvergenceError` instead of returning a
         non-converged result.
+    ctx:
+        Engine context charged with the instrumentation: update steps land
+        on ``counters.dynamics_steps`` and the whole run under a
+        ``"dynamics"`` span (the per-step cost stays three vectorized ops
+        -- steps are tallied once, after the loop).
     """
+    rctx = resolve_context(ctx)
     if g.m == 0:
         raise ConvergenceError("dynamics undefined on an edgeless graph")
     if not (0.0 <= damping <= 1.0):
@@ -121,24 +128,26 @@ def proportional_response(
     oscillating = False
     scale = max(1.0, float(np.max(w))) if n else 1.0
 
-    for it in range(1, max_iters + 1):
-        util = np.bincount(dst, weights=x, minlength=n)
-        safe = util[src] > 0
-        ratio = np.zeros_like(x)
-        np.divide(x[rev], util[src], out=ratio, where=safe)
-        new = np.where(safe, ratio * w[src], x)
-        if mix:
-            new = (1.0 - damping) * new + damping * x
-        prev2, prev = prev, x
-        x = new
-        residual = float(np.max(np.abs(x - prev)))
-        if residual <= tol * scale:
-            break
-        if it >= 2:
-            orbit_gap = float(np.max(np.abs(x - prev2)))
-            if orbit_gap <= tol * scale and residual > tol * scale:
-                oscillating = True
+    with rctx.span("dynamics"):
+        for it in range(1, max_iters + 1):
+            util = np.bincount(dst, weights=x, minlength=n)
+            safe = util[src] > 0
+            ratio = np.zeros_like(x)
+            np.divide(x[rev], util[src], out=ratio, where=safe)
+            new = np.where(safe, ratio * w[src], x)
+            if mix:
+                new = (1.0 - damping) * new + damping * x
+            prev2, prev = prev, x
+            x = new
+            residual = float(np.max(np.abs(x - prev)))
+            if residual <= tol * scale:
                 break
+            if it >= 2:
+                orbit_gap = float(np.max(np.abs(x - prev2)))
+                if orbit_gap <= tol * scale and residual > tol * scale:
+                    oscillating = True
+                    break
+    rctx.counters.dynamics_steps += it
 
     converged = residual <= tol * scale
     if oscillating:

@@ -9,6 +9,7 @@ This package is a *leaf* of the library's import graph (it depends only on
 from .cache import DecompositionCache, decomposition_key, instance_signature
 from .context import (
     DEFAULT_CACHE_SIZE,
+    NULL_SPAN,
     EngineContext,
     EngineSpec,
     default_context,
@@ -16,11 +17,13 @@ from .context import (
     set_flow_fault_hook,
     using_context,
 )
-from .counters import Counters
+from .counters import INT_COUNTER_FIELDS, Counters
 from .registry import DEFAULT_SOLVER, SOLVERS, MaxFlowSolver, Solver, SolverRegistry
 
 __all__ = [
     "Counters",
+    "INT_COUNTER_FIELDS",
+    "NULL_SPAN",
     "DecompositionCache",
     "decomposition_key",
     "instance_signature",

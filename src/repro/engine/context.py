@@ -35,6 +35,7 @@ from .registry import DEFAULT_SOLVER, SOLVERS, Solver, SolverRegistry
 __all__ = [
     "EngineSpec",
     "EngineContext",
+    "NULL_SPAN",
     "default_context",
     "resolve_context",
     "using_context",
@@ -64,6 +65,26 @@ def set_flow_fault_hook(hook: Optional[Callable]) -> None:
 DEFAULT_CACHE_SIZE = 1024
 
 
+class _NullSpan:
+    """Shared no-op span handed out when no tracer is attached.
+
+    One module-level singleton, no allocation, empty ``__enter__`` /
+    ``__exit__`` -- the entire disabled-tracing cost of an instrumented
+    call site is the attribute check in :meth:`EngineContext.span`.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """Frozen, picklable description of an :class:`EngineContext`.
@@ -80,6 +101,7 @@ class EngineSpec:
     workers: int = 0
     audit: str = "off"
     corpus_dir: Optional[str] = None
+    trace: bool = False
 
     def build(self, registry: SolverRegistry | None = None) -> "EngineContext":
         ctx = EngineContext(
@@ -90,6 +112,12 @@ class EngineSpec:
             workers=self.workers,
             registry=registry if registry is not None else SOLVERS,
         )
+        if self.trace:
+            # Lazy import for the same leaf-package reason as the auditor:
+            # ``repro.obs`` knows about engine snapshots, not vice versa.
+            from ..obs import Tracer
+
+            ctx.tracer = Tracer()
         if self.audit != "off":
             # Lazy import: ``engine`` stays a leaf of the import graph; the
             # oracle layer (which imports core/io) is pulled in only when a
@@ -145,6 +173,12 @@ class EngineContext:
     #: ``getattr(ctx, "runtime", None)`` semantics and fall back to the
     #: unsupervised legacy behavior when absent.
     runtime: object = field(default=None, repr=False)
+    #: Optional span tracer (see :class:`repro.obs.Tracer`).  Loosely typed
+    #: so ``engine`` stays an import-graph leaf; anything with ``enabled``,
+    #: ``span(name)``, ``snapshot()`` and ``merge_snapshot(dict)`` works.
+    #: ``None`` (the default) keeps instrumented hot paths at one attribute
+    #: check of overhead via the shared :data:`NULL_SPAN`.
+    tracer: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -182,7 +216,8 @@ class EngineContext:
         entry = self.solver_entry(need_arc_flows=need_arc_flows)
         self.counters.flow_calls += 1
         tol = self.zero_tol if zero_tol is None else zero_tol
-        value = entry.fn(net, s, t, tol)
+        with self.span("flow"):
+            value = entry.fn(net, s, t, tol)
         if _FLOW_FAULT_HOOK is not None:
             value = _FLOW_FAULT_HOOK(value)
         # Graceful-degradation boundary: every solve's value must be finite
@@ -199,6 +234,20 @@ class EngineContext:
         if self.auditor is not None:
             self.auditor.on_flow(self, net, s, t, value, tol, entry)
         return value
+
+    # -- tracing -----------------------------------------------------------
+    def span(self, name: str):
+        """A timing span under ``name`` -- the instrumentation entry point
+        for every hot path (``with ctx.span("decompose"): ...``).
+
+        Returns the attached tracer's span when tracing is on, else the
+        shared no-op :data:`NULL_SPAN`; call sites never branch on whether
+        tracing is configured.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return NULL_SPAN
+        return tracer.span(name)
 
     # -- audit hooks -------------------------------------------------------
     # No-ops when no auditor is attached; the oracle layer implements the
@@ -234,6 +283,7 @@ class EngineContext:
             workers=self.workers,
             audit=getattr(self.auditor, "level_name", "off") if self.auditor else "off",
             corpus_dir=getattr(self.auditor, "corpus_dir", None) if self.auditor else None,
+            trace=self.tracer is not None,
         )
 
     # -- instrumentation --------------------------------------------------
@@ -244,11 +294,15 @@ class EngineContext:
         out["cache"] = self.cache.stats()
         out["solver"] = self.solver
         out["backend"] = self.backend.name
+        out["spans"] = self.tracer.snapshot() if self.tracer is not None else {}
         return out
 
     def reset_stats(self) -> None:
-        """Zero the counters and cache hit/miss tallies (entries are kept)."""
+        """Zero the counters, span aggregates, and cache hit/miss tallies
+        (cache entries are kept)."""
         self.counters.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
         self.cache.hits = 0
         self.cache.misses = 0
         self.cache.evictions = 0

@@ -6,6 +6,12 @@ sweep can report exactly how many max-flow solves and Dinkelbach steps it
 cost and how much of that the decomposition cache absorbed.  Increments are
 plain attribute additions -- no locks, no allocation -- so the hot paths pay
 essentially nothing for the bookkeeping.
+
+Counters count *work performed*: a retried cell's first attempt stays in
+the totals, and worker-side counters are shipped back and merged by the
+:mod:`repro.obs.metrics` protocol, so parallel and serial sweeps of the
+same work report the same totals (when per-process caching cannot skew the
+work, i.e. with the decomposition cache disabled).
 """
 
 from __future__ import annotations
@@ -14,7 +20,32 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Counters"]
+__all__ = ["Counters", "INT_COUNTER_FIELDS"]
+
+#: Every integer counter, in declaration order.  ``snapshot`` / ``merge`` /
+#: ``reset`` iterate this tuple so adding a counter is a two-line change
+#: (field + entry here) instead of a four-method hunt.
+INT_COUNTER_FIELDS = (
+    "flow_calls",
+    "dinkelbach_iterations",
+    "decompositions",
+    "allocations",
+    "dynamics_steps",
+    "cache_hits",
+    "cache_misses",
+    "arc_flow_fallbacks",
+    "audit_flow_checks",
+    "audit_invariant_checks",
+    "audit_differential_checks",
+    "audit_disagreements",
+    "audit_violations",
+    "cell_retries",
+    "cell_timeouts",
+    "worker_respawns",
+    "precision_escalations",
+    "injected_faults",
+    "checkpoint_hits",
+)
 
 
 @dataclass
@@ -23,7 +54,8 @@ class Counters:
 
     ``flow_calls`` counts max-flow solves routed through the context;
     ``arc_flow_fallbacks`` the subset where a value-only solver (push-relabel)
-    was swapped for Dinic because the caller needed per-arc flows.
+    was swapped for Dinic because the caller needed per-arc flows;
+    ``dynamics_steps`` proportional-response update steps.
     ``phase_seconds`` maps phase labels (``"decompose"``, ``"allocate"``,
     ``"best_response"``) to cumulative wall time.
 
@@ -48,6 +80,7 @@ class Counters:
     dinkelbach_iterations: int = 0
     decompositions: int = 0
     allocations: int = 0
+    dynamics_steps: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     arc_flow_fallbacks: int = 0
@@ -63,81 +96,66 @@ class Counters:
     injected_faults: int = 0
     checkpoint_hits: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Open ``timed`` depth per phase label.  Bookkeeping only -- excluded
+    #: from snapshots, merges, and resets -- so that re-entering an
+    #: already-active phase does not double-count its wall time.
+    _active_phases: dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @contextmanager
     def timed(self, phase: str):
-        """Accumulate the wall time of the ``with`` body under ``phase``."""
-        start = time.perf_counter()
+        """Accumulate the wall time of the ``with`` body under ``phase``.
+
+        Reentrancy-safe: only the *outermost* ``timed(phase)`` of a nested
+        stack records elapsed time (an inner re-entry is already covered by
+        the outer interval, so adding it again would make ``phase_seconds``
+        exceed wall time), and the accounting is exception-safe -- a body
+        that raises still closes its interval, and an inner phase raising
+        through an outer one leaves the outer phase's elapsed time intact.
+        """
+        depth = self._active_phases.get(phase, 0)
+        self._active_phases[phase] = depth + 1
+        start = time.perf_counter() if depth == 0 else 0.0
         try:
             yield self
         finally:
-            elapsed = time.perf_counter() - start
-            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + elapsed
+            remaining = self._active_phases[phase] - 1
+            if remaining:
+                self._active_phases[phase] = remaining
+            else:
+                del self._active_phases[phase]
+                elapsed = time.perf_counter() - start
+                self.phase_seconds[phase] = (
+                    self.phase_seconds.get(phase, 0.0) + elapsed
+                )
 
     def snapshot(self) -> dict:
-        """Plain-dict copy (stable keys; safe to serialize or diff)."""
-        return {
-            "flow_calls": self.flow_calls,
-            "dinkelbach_iterations": self.dinkelbach_iterations,
-            "decompositions": self.decompositions,
-            "allocations": self.allocations,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "arc_flow_fallbacks": self.arc_flow_fallbacks,
-            "audit_flow_checks": self.audit_flow_checks,
-            "audit_invariant_checks": self.audit_invariant_checks,
-            "audit_differential_checks": self.audit_differential_checks,
-            "audit_disagreements": self.audit_disagreements,
-            "audit_violations": self.audit_violations,
-            "cell_retries": self.cell_retries,
-            "cell_timeouts": self.cell_timeouts,
-            "worker_respawns": self.worker_respawns,
-            "precision_escalations": self.precision_escalations,
-            "injected_faults": self.injected_faults,
-            "checkpoint_hits": self.checkpoint_hits,
-            "phase_seconds": dict(self.phase_seconds),
-        }
+        """Plain-dict copy (stable keys; safe to serialize, diff, merge)."""
+        out = {name: getattr(self, name) for name in INT_COUNTER_FIELDS}
+        out["phase_seconds"] = dict(self.phase_seconds)
+        return out
 
     def reset(self) -> None:
-        self.flow_calls = 0
-        self.dinkelbach_iterations = 0
-        self.decompositions = 0
-        self.allocations = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.arc_flow_fallbacks = 0
-        self.audit_flow_checks = 0
-        self.audit_invariant_checks = 0
-        self.audit_differential_checks = 0
-        self.audit_disagreements = 0
-        self.audit_violations = 0
-        self.cell_retries = 0
-        self.cell_timeouts = 0
-        self.worker_respawns = 0
-        self.precision_escalations = 0
-        self.injected_faults = 0
-        self.checkpoint_hits = 0
+        for name in INT_COUNTER_FIELDS:
+            setattr(self, name, 0)
         self.phase_seconds = {}
 
     def merge(self, other: "Counters") -> None:
         """Fold another counter set into this one (per-worker aggregation)."""
-        self.flow_calls += other.flow_calls
-        self.dinkelbach_iterations += other.dinkelbach_iterations
-        self.decompositions += other.decompositions
-        self.allocations += other.allocations
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.arc_flow_fallbacks += other.arc_flow_fallbacks
-        self.audit_flow_checks += other.audit_flow_checks
-        self.audit_invariant_checks += other.audit_invariant_checks
-        self.audit_differential_checks += other.audit_differential_checks
-        self.audit_disagreements += other.audit_disagreements
-        self.audit_violations += other.audit_violations
-        self.cell_retries += other.cell_retries
-        self.cell_timeouts += other.cell_timeouts
-        self.worker_respawns += other.worker_respawns
-        self.precision_escalations += other.precision_escalations
-        self.injected_faults += other.injected_faults
-        self.checkpoint_hits += other.checkpoint_hits
-        for phase, secs in other.phase_seconds.items():
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot`-shaped dict into this counter set.
+
+        This is the wire half of the snapshot/merge protocol: worker
+        processes serialize deltas as plain dicts over their result queues
+        (see :mod:`repro.obs.metrics`) and the parent folds them in here.
+        Unknown keys are ignored so a newer worker snapshot never crashes
+        an older parent.
+        """
+        for name in INT_COUNTER_FIELDS:
+            if name in snap:
+                setattr(self, name, getattr(self, name) + snap[name])
+        for phase, secs in snap.get("phase_seconds", {}).items():
             self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + secs

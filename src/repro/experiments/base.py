@@ -75,16 +75,29 @@ def format_engine_stats(stats: dict) -> str:
         audit += " | runtime: " + " ".join(
             f"{label}={stats.get(k, 0)}" for k, label in runtime_keys
         )
+    dynamics = ""
+    if stats.get("dynamics_steps"):
+        dynamics = f"dynamics steps={stats.get('dynamics_steps')} "
+    spans = ""
+    if stats.get("spans"):
+        # Heaviest spans first; the full tree lives in the --json dump.
+        top = sorted(stats["spans"].items(),
+                     key=lambda kv: kv[1]["total_s"], reverse=True)[:5]
+        spans = " | spans: " + " ".join(
+            f"{path}={s['total_s']:.3f}s/{s['count']}" for path, s in top
+        )
     return (
         f"engine: solver={stats.get('solver')} backend={stats.get('backend')} | "
         f"flow calls={stats.get('flow_calls')} "
         f"dinkelbach iters={stats.get('dinkelbach_iterations')} "
         f"decompositions={stats.get('decompositions')} "
-        f"allocations={stats.get('allocations')} | "
-        f"cache hits={cache.get('hits')} misses={cache.get('misses')} "
+        f"allocations={stats.get('allocations')} "
+        + dynamics
+        + f"| cache hits={cache.get('hits')} misses={cache.get('misses')} "
         f"size={cache.get('size')}/{cache.get('maxsize')}"
         + audit
         + (f" | {phases}" if phases else "")
+        + spans
     )
 
 

@@ -59,6 +59,7 @@ from ..guard.resources import (
     set_bruteforce_limit,
     translate_resource_errors,
 )
+from ..obs.metrics import absorb_metrics, drain_worker_metrics, sync_worker_metrics
 from .checkpoint import CheckpointJournal
 from .faults import current_injector, install_injector, parse_fault_spec
 from .policy import RuntimePolicy
@@ -143,6 +144,14 @@ def _worker_main(task_q, result_q, fn, fault_spec: Optional[str],
     (reported as a typed ``ResourceExhaustedError``) instead of the kernel
     OOM-killing the worker, and a CPU-runaway cell is killed by the kernel
     at the CPU budget (surfacing as a crash the supervisor requeues).
+
+    Every result message carries, as its last slot, the worker's metrics
+    delta -- counters and spans the cell accumulated on this process's
+    registered engine contexts (see :mod:`repro.obs.metrics`) -- so the
+    supervisor can merge true worker-side work totals into the parent
+    context instead of dropping them with the worker.  The delta is
+    ``None`` for cells that touched no engine context, and stays a small
+    flat dict otherwise, preserving the atomic-pipe-write size assumption.
     """
     if envelope is not None:
         apply_rlimits(*envelope)
@@ -160,7 +169,9 @@ def _worker_main(task_q, result_q, fn, fault_spec: Optional[str],
             if injector is not None:
                 injector.fire("worker", index=index, attempt=attempt)  # may _exit
                 injector.fire("cell", index=index, attempt=attempt)
-            result_q.put((index, attempt, True, fn(item), None))
+            value = fn(item)
+            result_q.put((index, attempt, True, value, None,
+                          drain_worker_metrics()))
         except BaseException as exc:  # noqa: BLE001 - must report, not die
             exc = translate_resource_errors(exc)
             result_q.put((
@@ -171,6 +182,9 @@ def _worker_main(task_q, result_q, fn, fault_spec: Optional[str],
                     "retryable": is_retryable(exc),
                     "escalatable": is_escalatable(exc),
                 },
+                # Work done before the failure is still work done -- ship
+                # the partial delta so retried cells are counted honestly.
+                drain_worker_metrics(),
             ))
 
 
@@ -200,6 +214,7 @@ class _Supervisor:
         escalate_fn,
         journal: Optional[CheckpointJournal],
         key_fn,
+        tracer=None,
     ) -> None:
         self.fn = fn
         self.items = list(items)
@@ -208,6 +223,7 @@ class _Supervisor:
         self.escalate_fn = escalate_fn
         self.journal = journal
         self.key_fn = key_fn
+        self.tracer = tracer
         self.results: dict[int, object] = {}
         self.pending: deque[tuple[float, int, int]] = deque()  # (ready_at, idx, attempt)
         self.inflight: dict[int, tuple[int, int, float]] = {}  # wid -> (idx, attempt, deadline)
@@ -397,7 +413,11 @@ class _Supervisor:
             except (queue_mod.Empty, OSError, EOFError):
                 return drained
             drained = True
-            idx, attempt, ok, value, failure = msg
+            idx, attempt, ok, value, failure, metrics = msg
+            # Merge the worker's delta unconditionally -- even for late
+            # duplicates and failed attempts, the flow solves and iterations
+            # it reports were really performed.
+            absorb_metrics(metrics, counters=self.counters, tracer=self.tracer)
             if self.inflight.get(wid, (None,))[0] == idx:
                 del self.inflight[wid]
             if idx in self.results:
@@ -450,6 +470,7 @@ def supervised_map(
     escalate_fn: Optional[Callable[[T], R]] = None,
     journal: Optional[CheckpointJournal] = None,
     key_fn: Optional[Callable[[int], str]] = None,
+    tracer=None,
 ) -> list[R]:
     """Fault-tolerant, order-preserving map over ``items``.
 
@@ -459,34 +480,48 @@ def supervised_map(
     picklable for the parallel path; ``escalate_fn`` runs in the
     supervisor process.  ``key_fn`` maps a submission index to a stable
     journal key (defaults to ``str(index)``).
+
+    Work accounting: cells that rebuild engine contexts from a spec (in
+    workers *or* in this process -- the serial path, degradation, and
+    escalation all run cells here) accumulate onto per-process memoized
+    contexts, not onto ``counters``.  The map brackets itself with the
+    :mod:`repro.obs.metrics` drain protocol: pending deltas from earlier,
+    already-reported work are discarded up front (this also synchronizes
+    the marks that forked workers inherit), worker deltas arrive with each
+    result message, and one final drain folds the work this process itself
+    performed into ``counters`` (and span deltas into ``tracer``).
     """
     policy = policy if policy is not None else RuntimePolicy()
     counters = counters if counters is not None else Counters()
     key_fn = key_fn if key_fn is not None else str
     items = list(items)
 
-    # A single item normally short-circuits to the serial path, but a
-    # resource envelope can only be enforced inside a real worker process
-    # (setrlimit is irreversible and process-wide, so it must never touch
-    # the host): honor the envelope even for one cell.
-    serial_single = len(items) <= 1 and envelope_from_policy(policy) is None
-    if processes <= 0 or serial_single:
-        injector = current_injector()
-        out: list = []
-        for idx, item in enumerate(items):
-            if journal is not None:
-                key = key_fn(idx)
-                if key in journal:
-                    counters.checkpoint_hits += 1
-                    out.append(journal.get(key))
-                    continue
-            value = run_cell(fn, item, idx, policy, counters,
-                             escalate_fn=escalate_fn, injector=injector)
-            if journal is not None:
-                journal.record(key_fn(idx), value)
-            out.append(value)
-        return out
+    sync_worker_metrics()
+    try:
+        # A single item normally short-circuits to the serial path, but a
+        # resource envelope can only be enforced inside a real worker process
+        # (setrlimit is irreversible and process-wide, so it must never touch
+        # the host): honor the envelope even for one cell.
+        serial_single = len(items) <= 1 and envelope_from_policy(policy) is None
+        if processes <= 0 or serial_single:
+            injector = current_injector()
+            out: list = []
+            for idx, item in enumerate(items):
+                if journal is not None:
+                    key = key_fn(idx)
+                    if key in journal:
+                        counters.checkpoint_hits += 1
+                        out.append(journal.get(key))
+                        continue
+                value = run_cell(fn, item, idx, policy, counters,
+                                 escalate_fn=escalate_fn, injector=injector)
+                if journal is not None:
+                    journal.record(key_fn(idx), value)
+                out.append(value)
+            return out
 
-    sup = _Supervisor(fn, items, processes, policy, counters,
-                      escalate_fn, journal, key_fn)
-    return sup.run()
+        sup = _Supervisor(fn, items, processes, policy, counters,
+                          escalate_fn, journal, key_fn, tracer=tracer)
+        return sup.run()
+    finally:
+        absorb_metrics(drain_worker_metrics(), counters=counters, tracer=tracer)

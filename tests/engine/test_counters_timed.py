@@ -1,0 +1,84 @@
+"""Counters.timed: reentrancy and exception safety of the phase timers.
+
+The historical bug: nesting ``timed("x")`` inside ``timed("x")`` (easy to
+hit once spans and phases wrap shared helpers) recorded the inner elapsed
+time *twice* -- once on its own exit and again inside the outer exit's
+window -- so ``phase_seconds`` could exceed wall time.  The fix counts
+per-phase depth and only the outermost invocation records.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import Counters
+
+
+def test_flat_phase_records_elapsed():
+    c = Counters()
+    with c.timed("p"):
+        time.sleep(0.02)
+    assert 0.02 <= c.phase_seconds["p"] < 0.2
+
+
+def test_nested_same_phase_counts_wall_time_once():
+    c = Counters()
+    with c.timed("p"):
+        time.sleep(0.05)
+        with c.timed("p"):
+            time.sleep(0.05)
+    # One outermost window of ~0.1s -- not 0.1 (outer) + 0.05 (inner).
+    assert 0.1 <= c.phase_seconds["p"] < 0.14
+
+
+def test_nested_distinct_phases_overlap():
+    c = Counters()
+    with c.timed("outer"):
+        with c.timed("inner"):
+            time.sleep(0.02)
+    assert c.phase_seconds["inner"] >= 0.02
+    assert c.phase_seconds["outer"] >= c.phase_seconds["inner"] - 1e-3
+
+
+def test_raising_inner_phase_leaves_outer_intact():
+    c = Counters()
+    with pytest.raises(ValueError):
+        with c.timed("outer"):
+            time.sleep(0.02)
+            with c.timed("inner"):
+                raise ValueError("boom")
+    # Both phases closed; the books are consistent and reusable.
+    assert c.phase_seconds["outer"] >= 0.02
+    assert c.phase_seconds["inner"] >= 0.0
+    assert not c._active_phases
+    with c.timed("outer"):
+        pass  # no corrupted state left behind
+
+
+def test_raising_nested_same_phase_keeps_single_window():
+    c = Counters()
+    with pytest.raises(RuntimeError):
+        with c.timed("p"):
+            time.sleep(0.05)
+            with c.timed("p"):
+                time.sleep(0.05)
+                raise RuntimeError("boom")
+    assert 0.1 <= c.phase_seconds["p"] < 0.14
+    assert not c._active_phases
+
+
+def test_sequential_phases_accumulate():
+    c = Counters()
+    for _ in range(2):
+        with c.timed("p"):
+            time.sleep(0.02)
+    assert c.phase_seconds["p"] >= 0.04
+
+
+def test_reset_clears_phase_books():
+    c = Counters()
+    with c.timed("p"):
+        pass
+    c.reset()
+    assert c.phase_seconds == {}
+    assert not c._active_phases

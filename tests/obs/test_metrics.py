@@ -1,0 +1,121 @@
+"""The cross-process metrics drain protocol: register/drain/absorb."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineContext, EngineSpec
+from repro.graphs import random_ring
+from repro.obs import Tracer
+from repro.obs.metrics import (
+    absorb_metrics,
+    diff_counter_snapshots,
+    drain_worker_metrics,
+    register_worker_context,
+    sync_worker_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Each test starts and ends with drained (empty-delta) sources."""
+    sync_worker_metrics()
+    yield
+    sync_worker_metrics()
+
+
+def _work(ctx):
+    from repro.core import bottleneck_decomposition
+
+    g = random_ring(6, np.random.default_rng(0))
+    return bottleneck_decomposition(g, ctx=ctx)
+
+
+def test_drain_reports_only_new_work():
+    ctx = EngineContext(cache_size=0)
+    register_worker_context(ctx)
+    sync_worker_metrics()
+    _work(ctx)
+    delta = drain_worker_metrics()
+    assert delta is not None
+    assert delta["counters"]["decompositions"] == 1
+    assert delta["counters"]["flow_calls"] >= 1
+    # A second drain with no new work reports nothing.
+    assert drain_worker_metrics() is None
+
+
+def test_register_is_idempotent():
+    ctx = EngineContext(cache_size=0)
+    register_worker_context(ctx)
+    register_worker_context(ctx)
+    sync_worker_metrics()
+    _work(ctx)
+    delta = drain_worker_metrics()
+    assert delta["counters"]["decompositions"] == 1  # not double-counted
+
+
+def test_sync_discards_pending_deltas():
+    ctx = EngineContext(cache_size=0)
+    register_worker_context(ctx)
+    _work(ctx)
+    sync_worker_metrics()
+    assert drain_worker_metrics() is None
+
+
+def test_drain_includes_tracer_spans():
+    ctx = EngineContext(cache_size=0)
+    ctx.tracer = Tracer()
+    register_worker_context(ctx)
+    sync_worker_metrics()
+    _work(ctx)
+    delta = drain_worker_metrics()
+    assert "decompose" in delta["spans"]
+    assert delta["spans"]["decompose"]["count"] == 1
+
+
+def test_absorb_into_parent_context():
+    worker = EngineContext(cache_size=0)
+    worker.tracer = Tracer()
+    register_worker_context(worker)
+    sync_worker_metrics()
+    _work(worker)
+    delta = drain_worker_metrics()
+
+    parent = EngineContext()
+    parent.tracer = Tracer()
+    absorb_metrics(delta, counters=parent.counters, tracer=parent.tracer)
+    assert parent.counters.decompositions == 1
+    assert parent.counters.flow_calls == worker.counters.flow_calls
+    assert parent.tracer.snapshot()["decompose"]["count"] == 1
+
+
+def test_absorb_none_is_noop():
+    parent = EngineContext()
+    absorb_metrics(None, counters=parent.counters)
+    assert parent.counters.decompositions == 0
+
+
+def test_diff_counter_snapshots_drops_zeros_and_diffs_phases():
+    cur = {"flow_calls": 5, "decompositions": 0,
+           "phase_seconds": {"decompose": 1.5, "allocate": 0.5}}
+    last = {"flow_calls": 2, "decompositions": 0,
+            "phase_seconds": {"decompose": 1.0}}
+    d = diff_counter_snapshots(cur, last)
+    assert d["flow_calls"] == 3
+    assert "decompositions" not in d
+    assert d["phase_seconds"]["decompose"] == pytest.approx(0.5)
+    assert d["phase_seconds"]["allocate"] == pytest.approx(0.5)
+
+
+def test_spec_rebuild_registers_for_draining():
+    # The worker-side path: a context rebuilt from a spec inside
+    # _context_for must participate in the drain protocol.
+    from repro.analysis.parallel import _WORKER_CONTEXTS, _context_for
+
+    spec = EngineContext(cache_size=0).spec()
+    _WORKER_CONTEXTS.pop(spec, None)
+    ctx = _context_for(spec)
+    sync_worker_metrics()
+    _work(ctx)
+    delta = drain_worker_metrics()
+    assert delta is not None and delta["counters"]["decompositions"] == 1
+    _WORKER_CONTEXTS.pop(spec, None)
