@@ -161,7 +161,11 @@ def sweep_fingerprint(
     h = hashlib.sha256()
     h.update(f"grid={grid}".encode())
     if spec is not None:
-        h.update(repr((spec.solver, spec.backend.name, spec.zero_tol)).encode())
+        h.update(
+            repr(
+                (spec.solver, spec.backend.name, spec.zero_tol, spec.engine)
+            ).encode()
+        )
     for g, v in cells:
         h.update(f"|{v}|{g.n}".encode())
         for u, w in g.edges:

@@ -45,9 +45,14 @@ def incentive_ratio_of_vertex(
     grid: int = 64,
     backend: Backend = FLOAT,
     ctx: EngineContext | None = None,
+    method: str = "grid",
 ) -> BestResponse:
-    """``zeta_v``: best response of a single agent (Definition 7)."""
-    return best_split(g, v, grid=grid, backend=backend, ctx=ctx)
+    """``zeta_v``: best response of a single agent (Definition 7).
+
+    ``method`` is forwarded to :func:`~repro.attack.best_response.best_split`
+    (``"grid"``, ``"exact"``, or ``"auto"``).
+    """
+    return best_split(g, v, grid=grid, backend=backend, ctx=ctx, method=method)
 
 
 def incentive_ratio(
@@ -55,11 +60,13 @@ def incentive_ratio(
     grid: int = 64,
     backend: Backend = FLOAT,
     ctx: EngineContext | None = None,
+    method: str = "grid",
 ) -> InstanceRatio:
     """``zeta`` of one ring instance: maximize ``zeta_v`` over agents."""
     require_ring(g)
     responses = tuple(
-        best_split(g, v, grid=grid, backend=backend, ctx=ctx) for v in g.vertices()
+        best_split(g, v, grid=grid, backend=backend, ctx=ctx, method=method)
+        for v in g.vertices()
     )
     worst = max(range(g.n), key=lambda v: responses[v].ratio)
     return InstanceRatio(graph=g, per_vertex=responses, worst=worst)

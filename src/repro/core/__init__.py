@@ -14,7 +14,13 @@ from .bruteforce import (
     brute_force_min_alpha,
 )
 from .classes import VertexClass, classify, refine_unit_pair
-from .allocation import Allocation, bd_allocation
+from .allocation import (
+    Allocation,
+    bd_allocation,
+    certified_endpoint_utilities,
+    endpoint_utilities,
+)
+from .incremental import reconstruct_decomposition
 from .utilities import closed_form_utilities, closed_form_utility
 from .dynamics import DynamicsResult, dynamics_utilities, proportional_response
 from .fixedpoint import FixedPointReport, assert_fixed_point, fixed_point_residual
@@ -36,6 +42,9 @@ __all__ = [
     "refine_unit_pair",
     "Allocation",
     "bd_allocation",
+    "certified_endpoint_utilities",
+    "endpoint_utilities",
+    "reconstruct_decomposition",
     "closed_form_utilities",
     "closed_form_utility",
     "DynamicsResult",

@@ -42,7 +42,12 @@ from ..graphs import WeightedGraph
 from ..numeric import Backend, FLOAT, Scalar
 from .bottleneck import BottleneckDecomposition, bottleneck_decomposition
 
-__all__ = ["Allocation", "bd_allocation"]
+__all__ = [
+    "Allocation",
+    "bd_allocation",
+    "certified_endpoint_utilities",
+    "endpoint_utilities",
+]
 
 
 @dataclass(frozen=True)
@@ -94,8 +99,25 @@ def _pair_network(
     C: list[int],
     sink_caps: list,
     backend: Backend,
+    ctx: EngineContext | None = None,
 ):
-    """Build the Definition-5 network for one pair; returns (net, arc map)."""
+    """Build the Definition-5 network for one pair; returns (net, arc map).
+
+    Under the columnar engine the arc structure comes from a context-cached
+    template (one per ``(topology, B, C)``); capacities are the same
+    expressions as the classic ``add_edge`` build, so the network -- and
+    every flow read off it -- is bit-identical either way.
+    """
+    if ctx is not None and ctx.engine == "columnar":
+        tpl, arc_of = ctx.pair_template(g, B, C)
+        avals = [backend.scalar(g.weights[u]) for u in B]
+        if backend.is_exact:
+            inf_cap = backend.total(avals) + 1
+            zero = inf_cap - inf_cap
+        else:
+            inf_cap = math.inf
+            zero = 0.0
+        return tpl.instantiate(avals, sink_caps, inf_cap, zero), arc_of
     nb, nc = len(B), len(C)
     s, t = 0, 1
     bpos = {v: i for i, v in enumerate(B)}
@@ -117,6 +139,62 @@ def _pair_network(
                 arc = net.add_edge(2 + bpos[u], 2 + nb + cpos[v], inf_cap)
                 arc_of[(u, v)] = arc
     return net, arc_of
+
+
+def _accumulate_pair(
+    g: WeightedGraph,
+    pair,
+    x: dict[tuple[int, int], Scalar],
+    backend: Backend,
+    zero_tol: float,
+    ctx: EngineContext,
+) -> None:
+    """Solve one pair's Definition-5 network and fold its edges into ``x``.
+
+    Shared verbatim by the full allocation and :func:`endpoint_utilities`;
+    allocation edges never cross pairs, so solving any subset of pairs
+    yields exactly the corresponding subset of ``x``.
+    """
+    alpha = pair.alpha
+    if pair.is_unit:
+        # alpha = 1 terminal pair: bipartite double cover of E[B_k].
+        # Any saturating flow yields the right utilities (U_v = w_v), but
+        # the proportional-response *fixed point* additionally needs
+        # x_uv = x_vu on a unit pair (the response of u to v must echo
+        # v's gift exactly when alpha = 1).  Max flows are not unique --
+        # e.g. a uniform triangle admits a directed circulation -- so we
+        # symmetrize: the average of a saturating flow and its reverse is
+        # again saturating (capacities are symmetric) and is symmetric.
+        members = sorted(pair.B)
+        caps = [backend.scalar(g.weights[v]) for v in members]
+        net, arc_of = _pair_network(g, members, members, caps, backend, ctx)
+        _solve_and_check(net, g, members, members, caps, backend, zero_tol,
+                         pair.index, ctx=ctx)
+        two = backend.scalar(2)
+        for (u, v), arc in arc_of.items():
+            f = (net.flow_on(arc) + net.flow_on(arc_of[(v, u)])) / two
+            if f != 0:
+                x[(u, v)] = f
+        return
+
+    B = sorted(pair.B)
+    C = sorted(pair.C)
+    if backend.is_zero(alpha):
+        caps = [math.inf if not backend.is_exact else _big(g, backend) for _ in C]
+    else:
+        caps = [backend.scalar(g.weights[v]) / alpha for v in C]
+    net, arc_of = _pair_network(g, B, C, caps, backend, ctx)
+    _solve_and_check(
+        net, g, B, C, caps, backend, zero_tol, pair.index,
+        check_sink=not backend.is_zero(alpha), ctx=ctx,
+    )
+    for (u, v), arc in arc_of.items():
+        f = net.flow_on(arc)
+        if f != 0:
+            x[(u, v)] = f
+            back = alpha * f
+            if back != 0:
+                x[(v, u)] = back
 
 
 def bd_allocation(
@@ -143,46 +221,7 @@ def bd_allocation(
     ctx.counters.allocations += 1
     with ctx.counters.timed("allocate"), ctx.span("allocate"):
         for pair in decomp.pairs:
-            alpha = pair.alpha
-            if pair.is_unit:
-                # alpha = 1 terminal pair: bipartite double cover of E[B_k].
-                # Any saturating flow yields the right utilities (U_v = w_v), but
-                # the proportional-response *fixed point* additionally needs
-                # x_uv = x_vu on a unit pair (the response of u to v must echo
-                # v's gift exactly when alpha = 1).  Max flows are not unique --
-                # e.g. a uniform triangle admits a directed circulation -- so we
-                # symmetrize: the average of a saturating flow and its reverse is
-                # again saturating (capacities are symmetric) and is symmetric.
-                members = sorted(pair.B)
-                caps = [backend.scalar(g.weights[v]) for v in members]
-                net, arc_of = _pair_network(g, members, members, caps, backend)
-                _solve_and_check(net, g, members, members, caps, backend, zero_tol,
-                                 pair.index, ctx=ctx)
-                two = backend.scalar(2)
-                for (u, v), arc in arc_of.items():
-                    f = (net.flow_on(arc) + net.flow_on(arc_of[(v, u)])) / two
-                    if f != 0:
-                        x[(u, v)] = f
-                continue
-
-            B = sorted(pair.B)
-            C = sorted(pair.C)
-            if backend.is_zero(alpha):
-                caps = [math.inf if not backend.is_exact else _big(g, backend) for _ in C]
-            else:
-                caps = [backend.scalar(g.weights[v]) / alpha for v in C]
-            net, arc_of = _pair_network(g, B, C, caps, backend)
-            _solve_and_check(
-                net, g, B, C, caps, backend, zero_tol, pair.index,
-                check_sink=not backend.is_zero(alpha), ctx=ctx,
-            )
-            for (u, v), arc in arc_of.items():
-                f = net.flow_on(arc)
-                if f != 0:
-                    x[(u, v)] = f
-                    back = alpha * f
-                    if back != 0:
-                        x[(v, u)] = back
+            _accumulate_pair(g, pair, x, backend, zero_tol, ctx)
 
         utilities = []
         for v in g.vertices():
@@ -193,6 +232,118 @@ def bd_allocation(
     alloc = Allocation(graph=g, x=x, utilities=tuple(utilities))
     ctx.audit_allocation(g, decomp, alloc)
     return alloc
+
+
+def endpoint_utilities(
+    g: WeightedGraph,
+    decomp: BottleneckDecomposition,
+    vertices,
+    backend: Backend | None = None,
+    ctx: EngineContext | None = None,
+) -> tuple[Scalar, ...]:
+    """Utilities of just ``vertices`` under the BD allocation.
+
+    Solves only the pairs containing the requested vertices.  This is
+    bit-identical to reading the same entries off :func:`bd_allocation`:
+    the pair networks are independent and allocation edges never cross
+    pairs, so every ``x`` entry that feeds ``U_v`` comes from ``v``'s own
+    pair, and the per-vertex accumulation below walks neighbors in the
+    same order over the same scalars.
+
+    This is the best-response fast path (the attacker only needs
+    ``U_{v1} + U_{v2}``); it deliberately does *not* construct an
+    :class:`Allocation` and does not fire the allocation audit hook -- a
+    partial ``x`` would be flagged as infeasible -- so callers must use
+    :func:`bd_allocation` whenever an auditor is attached.  Saturation of
+    the solved pairs is still checked (``_solve_and_check`` raises
+    :class:`InfeasibleFlowError` exactly as in the full allocation).
+    """
+    ctx = resolve_context(ctx)
+    backend = ctx.resolve_backend(backend)
+    zero_tol = ctx.zero_tol
+    needed = []
+    seen: set[int] = set()
+    for v in vertices:
+        p = decomp.pair_of(v)
+        if p.index not in seen:
+            seen.add(p.index)
+            needed.append(p)
+    needed.sort(key=lambda p: p.index)
+
+    x: dict[tuple[int, int], Scalar] = {}
+    ctx.counters.allocations += 1
+    with ctx.counters.timed("allocate"), ctx.span("allocate"):
+        for pair in needed:
+            _accumulate_pair(g, pair, x, backend, zero_tol, ctx)
+        utilities = []
+        for v in vertices:
+            total = backend.scalar(0)
+            for u in g.neighbors(v):
+                total = total + x.get((u, v), 0)
+            utilities.append(total)
+    return tuple(utilities)
+
+
+def certified_endpoint_utilities(
+    g: WeightedGraph,
+    decomp: BottleneckDecomposition,
+    hint: BottleneckDecomposition,
+    vertices,
+    backend: Backend | None = None,
+    ctx: EngineContext | None = None,
+) -> tuple[Scalar, ...]:
+    """Certify a *reconstructed* ``decomp`` and return ``vertices``'
+    utilities.
+
+    ``decomp`` must come from
+    :func:`repro.core.incremental.reconstruct_decomposition` with ``hint``
+    a ground-truth (fully solved) decomposition of an instance differing
+    from ``g`` only in the weights of ``vertices``.  The certificate for a
+    reconstruction is that every pair's Definition-5 network saturates
+    (plus the structural checks reconstruction already ran); this variant
+    evaluates part of that certificate analytically instead of by flow:
+
+    * a pair whose ``B`` and ``C`` avoid ``vertices`` and whose alpha is
+      bit-equal to ``hint``'s has a network *bit-identical* to the hint
+      pair's (the network is a function of the pair's member weights and
+      alpha only).  Saturation of a true decomposition's pairs is a
+      theorem, and the solver is deterministic, so re-running an identical
+      network cannot change the verdict -- the check is skipped.
+    * every other pair (weights or alpha moved, or an exact-backend
+      alpha-0 pair whose sink caps depend on the total weight) is solved
+      and saturation-checked exactly as in :func:`bd_allocation`, raising
+      :class:`InfeasibleFlowError` on failure.
+
+    Every ``x`` entry feeding a requested vertex's utility lives on an
+    edge inside a pair containing that vertex -- always in the solved set
+    -- so the returned utilities are bit-identical to the full
+    allocation's.  Like :func:`endpoint_utilities` this fires no audit
+    hook; callers must not use it with an auditor attached.
+    """
+    ctx = resolve_context(ctx)
+    backend = ctx.resolve_backend(backend)
+    zero_tol = ctx.zero_tol
+    touched = set(vertices)
+    x: dict[tuple[int, int], Scalar] = {}
+    ctx.counters.allocations += 1
+    with ctx.counters.timed("allocate"), ctx.span("allocate"):
+        for pair, hp in zip(decomp.pairs, hint.pairs):
+            unchanged = (
+                pair.alpha == hp.alpha
+                and touched.isdisjoint(pair.B)
+                and touched.isdisjoint(pair.C)
+                and not (backend.is_exact and backend.is_zero(pair.alpha))
+            )
+            if unchanged:
+                continue
+            _accumulate_pair(g, pair, x, backend, zero_tol, ctx)
+        utilities = []
+        for v in vertices:
+            total = backend.scalar(0)
+            for u in g.neighbors(v):
+                total = total + x.get((u, v), 0)
+            utilities.append(total)
+    return tuple(utilities)
 
 
 def _big(g: WeightedGraph, backend: Backend):

@@ -181,18 +181,57 @@ def parametric_network(
     return net, verts
 
 
+def _instantiate_parametric(
+    g: WeightedGraph,
+    active: Sequence[int],
+    lam: Scalar,
+    backend: Backend,
+    ctx: EngineContext,
+    w: list | None = None,
+) -> tuple[FlowNetwork, list[int]]:
+    """Columnar-engine twin of :func:`parametric_network`.
+
+    Same arc order and the same capacity *expressions* (``lam * w[i]``,
+    ``w[i]``, backend-dependent inf cap), so the resulting network is
+    bit-identical to the classically built one -- only the per-arc
+    validation and list regrowth are skipped, via a structure template
+    cached on the context.  The exact backend's inf cap depends on
+    ``lam``, which is why capacities are recomputed per instantiation
+    while only the arc structure is frozen.
+
+    ``w`` optionally passes the already-scalared active weights (in
+    ``active`` order); the Dinkelbach loop hoists it out of its
+    per-lambda iterations.
+    """
+    verts = list(active)
+    tpl = ctx.parametric_template(g, verts)
+    if w is None:
+        w = [backend.scalar(g.weights[v]) for v in verts]
+    if backend.is_exact:
+        inf_cap = (lam + 1) * backend.total(w) + 1
+        zero = inf_cap - inf_cap
+    else:
+        inf_cap = float("inf")
+        zero = 0.0
+    return tpl.instantiate([lam * wi for wi in w], w, inf_cap, zero), verts
+
+
 def _maximal_minimizer(
     g: WeightedGraph,
     active: Sequence[int],
     lam: Scalar,
     backend: Backend,
     ctx: EngineContext,
+    w: list | None = None,
 ) -> set[int]:
     """Maximal minimizer of ``g_lambda`` inside the induced graph on ``active``.
 
     Returns original vertex ids.
     """
-    net, verts = parametric_network(g, active, lam, backend)
+    if ctx.engine == "columnar":
+        net, verts = _instantiate_parametric(g, active, lam, backend, ctx, w)
+    else:
+        net, verts = parametric_network(g, active, lam, backend)
     nh = len(verts)
     s, t = 0, 1
 
@@ -214,6 +253,7 @@ def maximal_bottleneck(
     active: Sequence[int] | None = None,
     backend: Backend = FLOAT,
     ctx: EngineContext | None = None,
+    lam0: Scalar | None = None,
 ) -> tuple[frozenset[int], Scalar]:
     """Maximal bottleneck of the induced graph on ``active`` (Definition 2).
 
@@ -221,6 +261,19 @@ def maximal_bottleneck(
     graph to have positive total weight and some edge structure (the callers
     guarantee no isolated positive-weight vertices; see module notes in
     ``bottleneck_decomposition``).
+
+    ``lam0`` optionally warm-starts the Dinkelbach descent.  Soundness: the
+    caller must pass an *achieved ratio* ``alpha(H)`` of some subset ``H``
+    of ``active`` with ``w(H) > 0`` -- any such value is ``>= alpha*`` by
+    definition of the minimum, and the descent from any ``lambda >=
+    alpha*`` converges to the same maximal minimizer with the same
+    recomputed alpha.  A seed below the cold ``alpha(V_i)`` skips the
+    iterations the cold start would spend descending to it.  If float
+    rounding ever lands the seed a hair *below* ``alpha*`` (possible when
+    the subset ratio was computed on a nearby weight vector), the first
+    parametric step returns an empty or degenerate minimizer and the
+    descent restarts from the cold ``lambda_0`` -- so a bad seed costs one
+    wasted solve, never a wrong answer.
     """
     ctx = resolve_context(ctx)
     if active is None:
@@ -236,7 +289,11 @@ def maximal_bottleneck(
 
     # lambda_0 = alpha(V_i) (Gamma within the induced graph)
     gamma_all = g.neighborhood(active) & active_set
-    lam = g.weight_of(gamma_all, backend) / w_active
+    cold_lam = g.weight_of(gamma_all, backend) / w_active
+    warm = lam0 is not None and lam0 < cold_lam
+    lam = lam0 if warm else cold_lam
+    if warm:
+        ctx.counters.warm_starts += 1
 
     # Termination uses *exact* scalar comparison (Fraction or the computed
     # double), not the backend's structural tolerance: lambda strictly
@@ -246,11 +303,26 @@ def maximal_bottleneck(
     # bottleneck (its allocation flow would not saturate).
     prev: frozenset[int] | None = None
     prev_lam = lam
+    # The active weights (scalared once, in `active` order) are constant
+    # across the descent; only lambda moves between iterations.
+    w_cols = (
+        [backend.scalar(g.weights[v]) for v in active]
+        if ctx.engine == "columnar"
+        else None
+    )
     for _ in range(_MAX_DINKELBACH_ITERS):
         ctx.counters.dinkelbach_iterations += 1
         with ctx.span("dinkelbach"):
-            S = _maximal_minimizer(g, active, lam, backend, ctx)
+            S = _maximal_minimizer(g, active, lam, backend, ctx, w_cols)
         if not S:
+            if warm and prev is None:
+                # The warm seed rounded below the true minimum ratio, so no
+                # nonempty set reaches g_lambda <= 0.  Restart cold rather
+                # than returning: from here on the trajectory is exactly the
+                # cold-start one.
+                warm = False
+                lam = prev_lam = cold_lam
+                continue
             # Float-only corner: the last ratio was rounded a hair below the
             # true minimum, so at this lambda no nonempty set reaches
             # g_lambda <= 0.  The previous iterate achieved alpha == lambda
@@ -264,6 +336,12 @@ def maximal_bottleneck(
             return (prev if prev is not None else frozenset(active)), lam
         wS = g.weight_of(S, backend)
         if wS == 0:
+            if warm and prev is None:
+                # Same degenerate-seed escape as above: never let a warm
+                # seed change which terminal set a cold start would return.
+                warm = False
+                lam = prev_lam = cold_lam
+                continue
             # all-zero-weight minimizer: only possible when the remaining
             # graph is degenerate; treat as terminal with the current lambda
             return frozenset(S), lam
@@ -287,6 +365,7 @@ def bottleneck_decomposition(
     g: WeightedGraph,
     backend: Backend | None = None,
     ctx: EngineContext | None = None,
+    hint: BottleneckDecomposition | None = None,
 ) -> BottleneckDecomposition:
     """Full bottleneck decomposition of ``g`` (Definition 2).
 
@@ -295,6 +374,15 @@ def bottleneck_decomposition(
     remain.  Results are memoized in ``ctx``'s decomposition cache: the
     decomposition is a pure function of ``(structure, weights, backend)``,
     and the Sybil sweeps re-request the same instance many times.
+
+    ``hint`` optionally passes a decomposition of a *nearby* instance (same
+    vertex ids, different weights -- e.g. the previous candidate split of a
+    best-response sweep).  Each stage then seeds its Dinkelbach descent
+    with the achieved ratio of the hint's stage-``i`` bottleneck restricted
+    to the current active set, computed on **this** graph's weights -- a
+    valid warm start per :func:`maximal_bottleneck`'s contract, so the
+    result is the same as without the hint; only the iteration count
+    changes.
 
     Zero-weight corner cases: a zero-weight vertex whose remaining
     neighbors all sit in the current ``C_i`` is absorbed into ``B_i`` for
@@ -320,7 +408,9 @@ def bottleneck_decomposition(
         pairs: list[BottleneckPair] = []
         active = sorted(g.vertices())
         index = 1
+        hint_pairs = hint.pairs if hint is not None else ()
         while active:
+            active_set = set(active)
             w_active = g.weight_of(active, backend)
             if w_active == 0:
                 # leftover zero-weight vertices: terminal degenerate pair; they
@@ -331,8 +421,16 @@ def bottleneck_decomposition(
                 alpha = pairs[-1].alpha if pairs else backend.scalar(1)
                 pairs.append(BottleneckPair(index, B, B, alpha))
                 break
-            B, alpha = maximal_bottleneck(g, active, backend, ctx)
-            active_set = set(active)
+            lam0 = None
+            if index <= len(hint_pairs):
+                H = set(v for v in sorted(hint_pairs[index - 1].B)
+                        if v in active_set)
+                if H:
+                    wH = g.weight_of(H, backend)
+                    if wH != 0:
+                        lam0 = g.weight_of(
+                            g.neighborhood(H) & active_set, backend) / wH
+            B, alpha = maximal_bottleneck(g, active, backend, ctx, lam0=lam0)
             C = frozenset(g.neighborhood(B) & active_set)
             members = B | C
             if not members:

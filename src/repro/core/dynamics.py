@@ -26,6 +26,7 @@ import numpy as np
 from ..engine import EngineContext, instance_signature, resolve_context
 from ..exceptions import ConvergenceError
 from ..graphs import WeightedGraph
+from ..graphs.columnar import ColumnarGraph
 
 __all__ = ["DynamicsResult", "proportional_response", "dynamics_utilities"]
 
@@ -113,9 +114,22 @@ def proportional_response(
         raise ValueError(f"damping must be in [0, 1], got {damping}")
 
     n = g.n
-    src, dst, rev, index = _edge_arrays(g)
-    w = np.asarray([float(x) for x in g.weights])
-    deg = np.asarray([g.degree(v) for v in range(n)], dtype=np.float64)
+    if rctx.engine == "columnar":
+        # Same arrays in the same directed-pair order (the columnar builder
+        # preserves _edge_arrays' (u,v),(v,u) emission), but cached on the
+        # graph's CSR view, and the float64 weight column is reused when the
+        # weights are float-able.  Fraction weights fall back to the same
+        # per-element float() conversion as the classic path -- never an
+        # object-dtype array.
+        cols = ColumnarGraph.from_graph(g)
+        src, dst, rev, index = cols.directed_arrays()
+        wf = cols.float_weights()
+        w = wf if wf is not None else np.asarray([float(x) for x in g.weights])
+        deg = np.asarray(cols.indptr[1:] - cols.indptr[:-1], dtype=np.float64)
+    else:
+        src, dst, rev, index = _edge_arrays(g)
+        w = np.asarray([float(x) for x in g.weights])
+        deg = np.asarray([g.degree(v) for v in range(n)], dtype=np.float64)
 
     x = w[src] / deg[src]
     prev = x.copy()

@@ -1,0 +1,129 @@
+"""Incremental decomposition reuse across constant-structure segments.
+
+The best-response sweep evaluates a one-parameter family of instances
+``g(w1)`` that differ only in two vertex weights.  By the breakpoint
+analysis in :mod:`repro.theory.breakpoints`, the *combinatorial* structure
+of the bottleneck decomposition -- which vertices form each ``(B_i, C_i)``
+pair -- is piecewise constant in ``w1``: the parameter axis splits into
+finitely many segments, and inside a segment only the alphas and flows
+move.  So once two fully-solved evaluations bracket a candidate with the
+same decomposition signature, the candidate's decomposition can be
+*reconstructed* from that structure instead of re-solved: recompute each
+alpha as ``w(Gamma(B_i) cap active) / w(B_i)`` on the candidate's weights
+-- by the very code path the Dinkelbach stage loop would have used, so the
+scalars come out bit-identical -- and let the allocation's saturation
+checks certify the result.
+
+Certification matters: bracketing is *evidence*, not proof (a sub-ulp
+sliver segment could hide between two probes), and saturation alone can be
+fooled -- on the 2-path with weights ``(1, 3)`` the false pair
+``({a}, {b}, alpha=3)`` saturates both sides of its Definition-5 network.
+The defense is layered, and every layer failing falls back to a full
+solve, never to a wrong answer:
+
+1. structural checks during reconstruction (stages partition the active
+   sets, ``C_i`` recomputed fresh as ``Gamma(B_i) cap active``, alphas
+   strictly increasing and ``<= 1`` -- which alone kills the counterexample
+   above, since a false "bottleneck" passed over by the true one shows a
+   ratio above a true pair's);
+2. saturation: every reconstructed decomposition goes through the
+   allocation layer's per-pair ``_solve_and_check``, which raises
+   :class:`~repro.exceptions.InfeasibleFlowError` unless max flow
+   saturates both network sides -- the Definition-5 certificate that each
+   claimed ``B_i`` really is a bottleneck of its stage graph.  Pairs whose
+   network is *bit-identical* to the corresponding pair of the
+   ground-truth hint (member weights untouched, alpha bit-equal) are
+   certified analytically instead of re-solved; see
+   :func:`repro.core.allocation.certified_endpoint_utilities`.
+
+Reconstruction is only used when no auditor is attached: the audit layers
+deliberately see full-fidelity solves.
+"""
+
+from __future__ import annotations
+
+from ..engine import EngineContext, resolve_context
+from ..exceptions import DecompositionError
+from ..graphs import WeightedGraph
+from ..numeric import Backend
+from .bottleneck import BottleneckDecomposition, BottleneckPair
+
+__all__ = ["reconstruct_decomposition"]
+
+
+def reconstruct_decomposition(
+    g: WeightedGraph,
+    hint: BottleneckDecomposition,
+    backend: Backend | None = None,
+    ctx: EngineContext | None = None,
+) -> BottleneckDecomposition:
+    """Rebuild ``hint``'s combinatorial structure on ``g``'s weights.
+
+    ``hint`` must decompose an instance with the same vertex ids and
+    topology as ``g`` (the caller guarantees this; the typical source is a
+    neighboring point of the same weight-parameter segment).  Alphas are
+    recomputed from scratch on ``g`` -- deliberately via the same set
+    constructions and accumulation order as the Dinkelbach stage loop, so
+    that when the hint's structure *is* ``g``'s true structure the result
+    is bit-identical to a full solve.  Raises
+    :class:`~repro.exceptions.DecompositionError` on any structural
+    inconsistency; the caller falls back to a full solve.
+
+    The result is **uncertified** until the allocation layer's saturation
+    checks pass; callers must run an allocation before trusting or caching
+    it (see module docstring).
+    """
+    ctx = resolve_context(ctx)
+    backend = ctx.resolve_backend(backend)
+
+    pairs: list[BottleneckPair] = []
+    active = sorted(g.vertices())
+    prev_alpha = None
+    one = backend.scalar(1)
+    index = 1
+    for hp in hint.pairs:
+        if not active:
+            raise DecompositionError("hint decomposition has surplus pairs")
+        active_set = set(active)
+        w_active = g.weight_of(active, backend)
+        if w_active == 0:
+            # Degenerate all-zero tail: the stage loop emits one terminal
+            # pair holding every remaining vertex.
+            B = frozenset(active)
+            if hp.B != B or hp.C != B:
+                raise DecompositionError("hint mismatches the degenerate tail")
+            alpha = pairs[-1].alpha if pairs else one
+            pairs.append(BottleneckPair(index, B, B, alpha))
+            active = []
+            index += 1
+            continue
+        # Ascending insertion: small-int set layout (hence iteration order,
+        # hence float accumulation order in weight_of) is a function of the
+        # insertion sequence; the stage loop builds its sets ascending, so
+        # we must too for the recomputed alphas to be bit-identical.
+        S = set(v for v in sorted(hp.B) if v in active_set)
+        if len(S) != len(hp.B):
+            raise DecompositionError("hint stage leaks outside the active set")
+        if not S:
+            raise DecompositionError("hint stage is empty")
+        wS = g.weight_of(S, backend)
+        if wS == 0:
+            raise DecompositionError("hint stage has zero weight")
+        a = g.weight_of(g.neighborhood(S) & active_set, backend) / wS
+        if a > one:
+            # No true bottleneck pair exceeds alpha = 1 (Prop 3); this is
+            # the signature of a non-bottleneck masquerading as one.
+            raise DecompositionError("reconstructed alpha exceeds 1")
+        if prev_alpha is not None and not (a > prev_alpha):
+            raise DecompositionError("reconstructed alphas are not increasing")
+        B = frozenset(S)
+        C = frozenset(g.neighborhood(B) & active_set)
+        pairs.append(BottleneckPair(index, B, C, a))
+        active = sorted(active_set - (B | C))
+        prev_alpha = a
+        index += 1
+    if active:
+        raise DecompositionError("hint pairs do not cover the graph")
+    decomp = BottleneckDecomposition(g, pairs, backend)
+    ctx.counters.decomp_reconstructions += 1
+    return decomp

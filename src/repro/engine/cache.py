@@ -7,16 +7,22 @@ agents, and the worst-case coordinate ascent revisits unimproved weight
 vectors.  A decomposition is a pure function of ``(graph structure, weight
 vector, backend)``, so those repeats are cache hits.
 
-Keys are canonical: :class:`~repro.graphs.WeightedGraph` stores edges as a
-sorted tuple and weights/labels as tuples, so the key tuple
+Keys are canonical **CSR buffer bytes** (see
+:func:`repro.graphs.columnar.graph_signature_bytes`): the ``indptr`` /
+``indices`` arrays over sorted neighbor lists plus the bit-exact weight and
+label bytes.  The byte string is cached on the graph and its structural
+half survives weight replacement, so a best-response sweep stops paying an
+O(E) Python tuple walk (and tuple hash) per cache probe.  Labels are part
+of the signature so a cached decomposition's ``.graph`` never swaps the
+requester's labelling (the split bookkeeping names fictitious vertices
+through labels).  The backend kind ``(name, tol)`` separates exact from
+float results -- a ``Fraction`` alpha must never be served where a
+tolerance-aware float was requested.
 
-    (n, edges, weights, labels, backend kind)
-
-is a complete adjacency+weight signature.  Labels are included so a cached
-decomposition's ``.graph`` never swaps the requester's labelling (the split
-bookkeeping names fictitious vertices through labels).  The backend kind
-``(name, tol)`` separates exact from float results -- a ``Fraction`` alpha
-must never be served where a tolerance-aware float was requested.
+One deliberate sharpening vs. the old tuple key: the old key compared
+weights by value (``1 == 1.0 == Fraction(1)`` hash-alike), the byte key by
+type-tagged bit pattern.  Equal-valued instances of different scalar types
+now occupy separate entries -- a duplicate-solve cost, never a wrong hit.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from collections import OrderedDict
 from typing import Hashable, Optional, TYPE_CHECKING
 
 from ..graphs import WeightedGraph
+from ..graphs.columnar import graph_signature_bytes
 from ..numeric import Backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -35,8 +42,14 @@ __all__ = ["DecompositionCache", "decomposition_key", "instance_signature"]
 
 
 def decomposition_key(g: WeightedGraph, backend: Backend) -> Hashable:
-    """Canonical hashable signature of one decomposition request."""
-    return (g.n, g.edges, g.weights, g.labels, backend.name, backend.tol)
+    """Canonical hashable signature of one decomposition request.
+
+    The instance part is the canonical CSR signature bytes, computed once
+    per graph (and once per *topology* for the structural half); bytes hash
+    caches inside CPython, so repeated probes of the same graph cost two
+    attribute loads and a tuple hash.
+    """
+    return (graph_signature_bytes(g), backend.name, backend.tol)
 
 
 def instance_signature(g: WeightedGraph, backend: Optional[Backend] = None) -> str:

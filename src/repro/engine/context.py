@@ -64,6 +64,11 @@ def set_flow_fault_hook(hook: Optional[Callable]) -> None:
 #: decompositions, so 1024 spans many instances without unbounded growth.
 DEFAULT_CACHE_SIZE = 1024
 
+#: Flow-template cache bound; a best-response sweep needs a handful of
+#: templates per topology (one parametric per active set, one pair network
+#: per decomposition pair), so 512 covers full experiments.
+TEMPLATE_CACHE_MAX = 512
+
 
 class _NullSpan:
     """Shared no-op span handed out when no tracer is attached.
@@ -102,6 +107,7 @@ class EngineSpec:
     audit: str = "off"
     corpus_dir: Optional[str] = None
     trace: bool = False
+    engine: str = "columnar"
 
     def build(self, registry: SolverRegistry | None = None) -> "EngineContext":
         ctx = EngineContext(
@@ -110,6 +116,7 @@ class EngineSpec:
             zero_tol=self.zero_tol,
             cache_size=self.cache_size,
             workers=self.workers,
+            engine=self.engine,
             registry=registry if registry is not None else SOLVERS,
         )
         if self.trace:
@@ -152,6 +159,13 @@ class EngineContext:
         LRU capacity of the decomposition cache; ``0`` disables caching.
     workers:
         Default process count for parallel sweeps (``0`` = serial).
+    engine:
+        ``"columnar"`` (default) routes the hot numeric paths through the
+        CSR substrate: flow-template instantiation, warm-started
+        Dinkelbach, vectorized dynamics arrays, and (auditor-off only)
+        segment-reuse in the best-response search.  ``"classic"`` keeps the
+        original per-object construction everywhere -- the reference path
+        the differential checks compare against.
     """
 
     solver: str = DEFAULT_SOLVER
@@ -159,6 +173,7 @@ class EngineContext:
     zero_tol: float = 0.0
     cache_size: int = DEFAULT_CACHE_SIZE
     workers: int = 0
+    engine: str = "columnar"
     registry: SolverRegistry = field(default_factory=lambda: SOLVERS, repr=False)
     cache: DecompositionCache = field(default=None, repr=False)  # type: ignore[assignment]
     counters: Counters = field(default_factory=Counters, repr=False)
@@ -179,10 +194,18 @@ class EngineContext:
     #: ``None`` (the default) keeps instrumented hot paths at one attribute
     #: check of overhead via the shared :data:`NULL_SPAN`.
     tracer: object = field(default=None, repr=False)
+    #: Flow-template cache keyed by (shape, structure bytes, member tuples);
+    #: bounded by :data:`TEMPLATE_CACHE_MAX` with whole-cache flush on
+    #: overflow (entries are cheap to rebuild and keys cluster per
+    #: topology, so LRU bookkeeping would cost more than it saves).
+    templates: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise EngineError(f"workers must be >= 0, got {self.workers}")
+        if self.engine not in ("columnar", "classic"):
+            raise EngineError(
+                f"unknown engine {self.engine!r} (expected 'columnar' or 'classic')")
         self.registry.get(self.solver)  # fail fast on unknown names
         if self.cache is None:
             self.cache = DecompositionCache(self.cache_size)
@@ -265,6 +288,61 @@ class EngineContext:
         if self.auditor is not None:
             self.auditor.on_best_response(self, g, v, result)
 
+    # -- flow templates ---------------------------------------------------
+    def parametric_template(self, g, active):
+        """Cached parametric-network template for ``(g structure, active)``.
+
+        ``active`` must already be the sorted vertex list the Dinkelbach
+        loop solves over.  Templates are shared across graphs with the same
+        topology (keyed by structure bytes), so every candidate split of a
+        best-response sweep reuses the templates built for the first one.
+
+        ``cache_size=0`` -- the "make the work deterministic" knob used by
+        the counter-merge regression tests -- disables this cache too:
+        per-process caches make hit/build tallies depend on how a sweep is
+        partitioned across workers, which uncached runs must not.
+        """
+        from ..flow.template import parametric_template
+        from ..graphs.columnar import graph_structure_bytes
+
+        if self.cache.maxsize == 0:
+            self.counters.template_builds += 1
+            return parametric_template(g, active)
+        key = ("par", graph_structure_bytes(g), tuple(active))
+        tpl = self.templates.get(key)
+        if tpl is None:
+            if len(self.templates) >= TEMPLATE_CACHE_MAX:
+                self.templates.clear()
+            self.counters.template_builds += 1
+            tpl = parametric_template(g, active)
+            self.templates[key] = tpl
+        else:
+            self.counters.template_hits += 1
+        return tpl
+
+    def pair_template(self, g, B, C):
+        """Cached allocation pair-network template; returns ``(tpl, arc_of)``.
+
+        Uncached when ``cache_size=0``, same as :meth:`parametric_template`.
+        """
+        from ..flow.template import pair_template
+        from ..graphs.columnar import graph_structure_bytes
+
+        if self.cache.maxsize == 0:
+            self.counters.template_builds += 1
+            return pair_template(g, B, C)
+        key = ("pair", graph_structure_bytes(g), tuple(B), tuple(C))
+        entry = self.templates.get(key)
+        if entry is None:
+            if len(self.templates) >= TEMPLATE_CACHE_MAX:
+                self.templates.clear()
+            self.counters.template_builds += 1
+            entry = pair_template(g, B, C)
+            self.templates[key] = entry
+        else:
+            self.counters.template_hits += 1
+        return entry
+
     # -- backend / worker resolution -------------------------------------
     def resolve_backend(self, backend: Optional[Backend]) -> Backend:
         return self.backend if backend is None else backend
@@ -281,6 +359,7 @@ class EngineContext:
             zero_tol=self.zero_tol,
             cache_size=self.cache.maxsize,
             workers=self.workers,
+            engine=self.engine,
             audit=getattr(self.auditor, "level_name", "off") if self.auditor else "off",
             corpus_dir=getattr(self.auditor, "corpus_dir", None) if self.auditor else None,
             trace=self.tracer is not None,
@@ -294,6 +373,7 @@ class EngineContext:
         out["cache"] = self.cache.stats()
         out["solver"] = self.solver
         out["backend"] = self.backend.name
+        out["engine"] = self.engine
         out["spans"] = self.tracer.snapshot() if self.tracer is not None else {}
         return out
 

@@ -45,6 +45,11 @@ INT_COUNTER_FIELDS = (
     "precision_escalations",
     "injected_faults",
     "checkpoint_hits",
+    "warm_starts",
+    "decomp_reconstructions",
+    "reconstruction_fallbacks",
+    "template_builds",
+    "template_hits",
 )
 
 
@@ -95,6 +100,15 @@ class Counters:
     precision_escalations: int = 0
     injected_faults: int = 0
     checkpoint_hits: int = 0
+    #: Columnar-engine family (see repro.core.incremental): Dinkelbach
+    #: solves seeded below the cold start, decompositions rebuilt from a
+    #: same-segment hint instead of solved, hints that failed certification
+    #: and fell back to a full solve, and flow-template cache traffic.
+    warm_starts: int = 0
+    decomp_reconstructions: int = 0
+    reconstruction_fallbacks: int = 0
+    template_builds: int = 0
+    template_hits: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Open ``timed`` depth per phase label.  Bookkeeping only -- excluded
     #: from snapshots, merges, and resets -- so that re-entering an

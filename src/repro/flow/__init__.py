@@ -5,10 +5,22 @@ from .dinic import dinic_max_flow
 from .edmonds_karp import edmonds_karp_max_flow
 from .push_relabel import push_relabel_max_flow
 from .mincut import min_source_side, max_source_side, cut_value
+from .template import (
+    FlowTemplate,
+    network_from_arrays,
+    network_to_arrays,
+    pair_template,
+    parametric_template,
+)
 from .verify import assert_valid_flow, node_inflow, node_outflow
 
 __all__ = [
     "FlowNetwork",
+    "FlowTemplate",
+    "network_from_arrays",
+    "network_to_arrays",
+    "pair_template",
+    "parametric_template",
     "dinic_max_flow",
     "edmonds_karp_max_flow",
     "push_relabel_max_flow",

@@ -11,6 +11,7 @@ with ``Fraction`` arithmetic.
 from __future__ import annotations
 
 from collections import deque
+from math import isinf
 
 from ..exceptions import FlowError
 from .network import FlowNetwork
@@ -65,27 +66,37 @@ def dinic_max_flow(net: FlowNetwork, s: int, t: int, zero_tol: float = 0.0):
         while True:
             if u == t:
                 bottleneck = min(cap[a] for a in path)
+                # inlined net.push: infinite residuals stay infinite, the
+                # paired reverse arc always gains (same rule, no dispatch)
                 for a in path:
-                    net.push(a, bottleneck)
+                    c = cap[a]
+                    if not (isinstance(c, float) and isinf(c)):
+                        cap[a] = c - bottleneck
+                    cap[a ^ 1] = cap[a ^ 1] + bottleneck
                 return bottleneck
             advanced = False
-            while it[u] < len(adj[u]):
-                arc = adj[u][it[u]]
+            adj_u = adj[u]
+            next_level = level[u] + 1
+            i = it[u]
+            while i < len(adj_u):
+                arc = adj_u[i]
                 v = head[arc]
-                if cap[arc] > zero_tol and level[v] == level[u] + 1:
+                if cap[arc] > zero_tol and level[v] == next_level:
+                    it[u] = i
                     path.append(arc)
                     u = v
                     advanced = True
                     break
-                it[u] += 1
+                i += 1
             if advanced:
                 continue
+            it[u] = i
             # dead end: retreat
             level[u] = -1
             if u == s:
                 return None
             arc = path.pop()
-            u = _tail(net, arc)
+            u = head[arc ^ 1]
 
     while bfs():
         for i in range(n):

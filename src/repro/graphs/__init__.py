@@ -1,6 +1,11 @@
 """Graph substrate: weighted undirected graphs, builders, ring helpers."""
 
 from .weighted_graph import WeightedGraph
+from .columnar import (
+    ColumnarGraph,
+    graph_signature_bytes,
+    graph_structure_bytes,
+)
 from .builders import (
     ring,
     path,
@@ -30,6 +35,9 @@ from .validation import (
 
 __all__ = [
     "WeightedGraph",
+    "ColumnarGraph",
+    "graph_signature_bytes",
+    "graph_structure_bytes",
     "ring",
     "path",
     "star",

@@ -54,7 +54,8 @@ class WeightedGraph:
         (:mod:`repro.graphs.validation`) can detect anything smuggled in.
     """
 
-    __slots__ = ("n", "edges", "weights", "labels", "_adj", "_edge_set")
+    __slots__ = ("n", "edges", "weights", "labels", "_adj", "_edge_set",
+                 "_cols", "_struct", "_sig")
 
     def __init__(
         self,
@@ -114,6 +115,12 @@ class WeightedGraph:
         self.labels: tuple[str, ...] = labels
         self._adj: tuple[tuple[int, ...], ...] = tuple(tuple(sorted(a)) for a in adj)
         self._edge_set = edge_set
+        # Lazily-populated columnar caches (see repro.graphs.columnar):
+        # the CSR view, the canonical structure bytes (shared across weight
+        # replacements), and the full instance signature bytes.
+        self._cols = None
+        self._struct = None
+        self._sig = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -206,6 +213,29 @@ class WeightedGraph:
         """Copy with the full weight vector replaced (same topology)."""
         return WeightedGraph(self.n, self.edges, weights, self.labels)
 
+    def _with_weights_unchecked(self, weights: Sequence[Scalar]) -> "WeightedGraph":
+        """Trusted weight replacement sharing every structural member.
+
+        The best-response sweep materializes one candidate graph per split;
+        rebuilding ``_adj``/``_edge_set`` (and re-sorting the edge tuple)
+        per candidate was pure waste since the topology never changes.  The
+        caller vouches that ``weights`` is a valid vector of length ``n``
+        (derived from already-validated scalars).  Structural caches are
+        shared -- including the canonical structure bytes -- while the
+        weight-dependent caches start empty.
+        """
+        out = WeightedGraph.__new__(WeightedGraph)
+        out.n = self.n
+        out.edges = self.edges
+        out.weights = tuple(weights)
+        out.labels = self.labels
+        out._adj = self._adj
+        out._edge_set = self._edge_set
+        out._cols = None
+        out._struct = self._struct
+        out._sig = None
+        return out
+
     def relabel(self, labels: Sequence[str]) -> "WeightedGraph":
         return WeightedGraph(self.n, self.edges, self.weights, labels,
                              validate=False)
@@ -266,6 +296,17 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WeightedGraph(n={self.n}, m={self.m})"
+
+    def __getstate__(self):
+        # Pickle only the defining data; adjacency, edge-set and columnar
+        # caches are derived state.  This keeps EngineSpec/worker payloads
+        # small (cheap spawn) and guarantees unpickled graphs rebuild their
+        # caches against the local numpy rather than shipping arrays.
+        return (self.n, self.edges, self.weights, self.labels)
+
+    def __setstate__(self, state):
+        n, edges, weights, labels = state
+        self.__init__(n, edges, weights, labels, validate=False)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WeightedGraph):

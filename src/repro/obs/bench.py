@@ -146,6 +146,30 @@ def _best_response_case(n: int) -> Callable[[], Callable]:
     return setup
 
 
+def _best_response_warm_case(n: int) -> Callable[[], Callable]:
+    """Best response with the columnar engine pinned explicitly.
+
+    ``best_response_n12`` runs whatever engine the measurement context
+    defaults to; this case always exercises the warm-start + segment-reuse
+    path (template instantiation, Dinkelbach seeding, reconstruction), so
+    a default-engine change can never silently drop the coverage."""
+
+    def setup() -> Callable[[EngineContext], object]:
+        from ..attack import best_split
+
+        g = _ring(n, 2)
+
+        def run(ctx: EngineContext):
+            warm_ctx = EngineContext(engine="columnar")
+            warm_ctx.counters = ctx.counters
+            warm_ctx.tracer = ctx.tracer
+            return best_split(g, 0, grid=24, ctx=warm_ctx)
+
+        return run
+
+    return setup
+
+
 def _maxflow_case(solver: str, n: int = 40) -> Callable[[], Callable]:
     def setup() -> Callable[[EngineContext], object]:
         from ..flow import FlowNetwork
@@ -202,6 +226,9 @@ BENCH_SUITE: tuple[BenchCase, ...] = (
     BenchCase("maxflow_push_relabel_n40", "flow", _maxflow_case("push_relabel")),
     BenchCase("experiment_EXP-F1_smoke", "experiment", _experiment_case("EXP-F1")),
     BenchCase("experiment_EXP-T8_smoke", "experiment", _experiment_case("EXP-T8")),
+    # Appended (never reordered: names are the baseline join key).
+    BenchCase("best_response_warm_n12", "attack", _best_response_warm_case(12)),
+    BenchCase("dynamics_vectorized_n128", "core", _dynamics_case(128)),
 )
 
 

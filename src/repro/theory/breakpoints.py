@@ -56,6 +56,7 @@ def sweep_regimes(
     probes: int = 48,
     gap: float = 1e-9,
     backend: Backend = FLOAT,
+    zero_tol: float | None = None,
 ) -> list[Regime]:
     """Generic regime sweep of a signature-valued function on ``[lo, hi]``.
 
@@ -63,6 +64,16 @@ def sweep_regimes(
     different signatures are bisected until the bracket width drops below
     ``gap`` (relative to the interval length), then the breakpoint is placed
     at the bracket midpoint.
+
+    ``zero_tol`` controls the near-tie endpoint dedupe: when a breakpoint
+    sits within float noise of a probe point (or of ``lo``/``hi``), two
+    refinements can land essentially on top of each other, and the
+    resulting sliver regime is narrower than the bisection resolution --
+    its midpoint evaluation then flaps between the neighbors' signatures.
+    Interior cuts within ``zero_tol`` (relative to the interval length) of
+    the previously kept cut or of ``hi`` are dropped.  Defaults to ``gap``
+    (the bisection resolution: anything closer is indistinguishable
+    anyway); exact backends drop exact duplicates only.
     """
     if probes < 2:
         raise ValueError("need at least 2 probes")
@@ -96,6 +107,16 @@ def sweep_regimes(
         cuts.append((a + b) / 2)
     cuts.append(hi)
 
+    tol = 0.0 if backend.is_exact else (gap if zero_tol is None else zero_tol)
+    scaled = tol * max(1.0, float(span))
+    deduped: list[Scalar] = [cuts[0]]
+    for c in cuts[1:-1]:
+        if float(c - deduped[-1]) <= scaled or float(hi - c) <= scaled:
+            continue
+        deduped.append(c)
+    deduped.append(hi)
+    cuts = deduped
+
     regimes: list[Regime] = []
     for i in range(len(cuts) - 1):
         a, b = cuts[i], cuts[i + 1]
@@ -119,6 +140,7 @@ def regimes_of_report(
     probes: int = 48,
     gap: float = 1e-9,
     backend: Backend = FLOAT,
+    zero_tol: float | None = None,
 ) -> list[Regime]:
     """Constant-decomposition regimes of the misreport sweep ``x in [0, w_v]``
     (the ``{<a_i, b_i>}`` partition of Section III-B)."""
@@ -128,7 +150,10 @@ def regimes_of_report(
             bottleneck_decomposition(g.with_weight(v, x), backend)
         )
 
-    return sweep_regimes(evaluate, 0, g.weights[v], probes=probes, gap=gap, backend=backend)
+    return sweep_regimes(
+        evaluate, 0, g.weights[v], probes=probes, gap=gap, backend=backend,
+        zero_tol=zero_tol,
+    )
 
 
 def regimes_of_split(
@@ -139,6 +164,7 @@ def regimes_of_split(
     probes: int = 48,
     gap: float = 1e-9,
     backend: Backend = FLOAT,
+    zero_tol: float | None = None,
 ) -> list[Regime]:
     """Regimes of the split-path decomposition as one endpoint weight sweeps.
 
@@ -159,4 +185,7 @@ def regimes_of_split(
         p, _, _ = cut_ring_at(g, v, w1, w2)
         return decomposition_signature(bottleneck_decomposition(p, backend))
 
-    return sweep_regimes(evaluate, 0, wv - fixed, probes=probes, gap=gap, backend=backend)
+    return sweep_regimes(
+        evaluate, 0, wv - fixed, probes=probes, gap=gap, backend=backend,
+        zero_tol=zero_tol,
+    )

@@ -1,0 +1,76 @@
+"""The exact best-response search as a primary path (``method=`` plumbing).
+
+``exact_best_split`` started life as a certifier for the grid search; this
+pins its promotion: ``method="exact"`` runs it directly, ``method="auto"``
+selects it on small exact-backend instances, and the ``method`` knob rides
+through ``incentive_ratio``.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import best_split, incentive_ratio, incentive_ratio_of_vertex
+from repro.attack.best_response import EXACT_METHOD_MAX_N
+from repro.engine import EngineContext
+from repro.exceptions import AttackError
+from repro.graphs import ring
+from repro.numeric import EXACT, FLOAT
+
+
+def _exact_ring(*ws):
+    return ring([Fraction(w) for w in ws])
+
+
+def test_exact_method_dominates_grid():
+    # the rational enumeration is exact on its regimes: never beaten by
+    # the sampled search, and equal once the grid has converged
+    g = _exact_ring(3, 1, 4, 2)
+    for v in g.vertices():
+        rg = best_split(g, v, grid=64, backend=EXACT, method="grid")
+        rx = best_split(g, v, backend=EXACT, method="exact")
+        assert rx.utility >= rg.utility - 1e-12
+        assert rx.utility == pytest.approx(rg.utility, rel=1e-9)
+        assert rx.honest_utility == pytest.approx(rg.honest_utility, rel=1e-12)
+
+
+def test_auto_promotes_exact_on_small_exact_instances():
+    g = _exact_ring(3, 1, 4, 2)
+    assert g.n <= EXACT_METHOD_MAX_N
+    ra = best_split(g, 0, backend=EXACT, method="auto")
+    rx = best_split(g, 0, backend=EXACT, method="exact")
+    assert (ra.w1, ra.w2, ra.utility) == (rx.w1, rx.w2, rx.utility)
+
+
+def test_auto_stays_on_grid_for_float():
+    g = ring([3.0, 1.0, 4.0, 2.0])
+    ra = best_split(g, 0, grid=16, refine_iters=20, method="auto")
+    rg = best_split(g, 0, grid=16, refine_iters=20, method="grid")
+    assert (ra.w1, ra.w2, ra.utility) == (rg.w1, rg.w2, rg.utility)
+
+
+def test_unknown_method_raises():
+    g = ring([3.0, 1.0, 4.0, 2.0])
+    with pytest.raises(AttackError, match="method"):
+        best_split(g, 0, method="newton")
+
+
+def test_method_rides_through_incentive_ratio():
+    g = _exact_ring(3, 1, 4, 2)
+    inst = incentive_ratio(g, backend=EXACT, method="exact")
+    for v in g.vertices():
+        direct = best_split(g, v, backend=EXACT, method="exact")
+        assert inst.per_vertex[v].utility == direct.utility
+    rv = incentive_ratio_of_vertex(g, inst.worst, backend=EXACT, method="exact")
+    assert rv.utility == inst.worst_response.utility
+    # Theorem 8 sanity on the promoted path
+    assert inst.zeta <= 2.0 + 1e-12
+
+
+def test_exact_method_audits_clean():
+    # the promoted path still reports through audit_best_response
+    g = _exact_ring(2, 5, 1, 3)
+    ctx = EngineContext()
+    r = best_split(g, 1, backend=EXACT, method="exact", ctx=ctx)
+    assert r.utility >= r.honest_utility  # best response can't lose to honesty
+    assert ctx.counters.phase_seconds.get("best_response", 0) > 0

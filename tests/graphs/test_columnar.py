@@ -1,0 +1,106 @@
+"""Unit tests for the columnar (CSR) graph substrate.
+
+The cache layer keys decompositions by these bytes and the vectorized
+dynamics trusts the directed-edge ordering, so the contracts pinned here
+are load-bearing: canonical buffers (equal graphs -> equal bytes),
+bit-exact weight serialization (``-0.0`` != ``0.0``, one-ulp values
+distinct), and a round-trip that reproduces the source graph exactly.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    ColumnarGraph,
+    WeightedGraph,
+    graph_signature_bytes,
+    graph_structure_bytes,
+    ring,
+)
+from repro.graphs.columnar import weight_bytes
+
+
+def test_csr_matches_adjacency():
+    g = ring([3.0, 1.0, 4.0, 1.0, 5.0])
+    cols = ColumnarGraph.from_graph(g)
+    for v in g.vertices():
+        row = cols.indices[cols.indptr[v]:cols.indptr[v + 1]]
+        assert list(row) == sorted(g.neighbors(v))
+    # sorted rows => canonical, so a second build is byte-identical
+    g2 = ring([3.0, 1.0, 4.0, 1.0, 5.0])
+    cols2 = ColumnarGraph.from_graph(g2)
+    assert cols.indptr.tobytes() == cols2.indptr.tobytes()
+    assert cols.indices.tobytes() == cols2.indices.tobytes()
+
+
+def test_from_graph_is_cached_on_the_graph():
+    g = ring([1.0, 2.0, 3.0])
+    assert ColumnarGraph.from_graph(g) is ColumnarGraph.from_graph(g)
+
+
+def test_round_trip_is_bit_identical():
+    g = WeightedGraph(4, [(0, 1), (0, 3), (1, 2), (2, 3)],
+                      [1.5, -0.0, 5e-324, 2.0], ["a", "b", "c", "d"])
+    back = ColumnarGraph.from_graph(g).to_graph()
+    assert back.n == g.n
+    assert back.edges == g.edges
+    assert back.labels == g.labels
+    # weight objects survive, bit pattern included
+    assert all(struct.pack("<d", a) == struct.pack("<d", b)
+               for a, b in zip(back.weights, g.weights))
+
+
+def test_weight_bytes_distinguishes_bit_patterns():
+    assert weight_bytes([0.0]) != weight_bytes([-0.0])
+    assert weight_bytes([5e-324]) != weight_bytes([0.0])  # subnormal
+    tiny = np.nextafter(1.0, 2.0)  # one ulp above 1.0
+    assert weight_bytes([tiny]) != weight_bytes([1.0])
+    # equal-valued, different scalar type: distinct by design
+    assert weight_bytes([1]) != weight_bytes([1.0])
+
+
+def test_signature_bytes_key_semantics():
+    g1 = ring([1.0, 2.0, 3.0, 4.0])
+    g2 = ring([1.0, 2.0, 3.0, 4.0])
+    assert graph_signature_bytes(g1) == graph_signature_bytes(g2)
+    # weights participate
+    g3 = ring([1.0, 2.0, 3.0, 5.0])
+    assert graph_signature_bytes(g1) != graph_signature_bytes(g3)
+    # labels participate (a cached decomposition must never swap labelling)
+    g4 = ring([1.0, 2.0, 3.0, 4.0], labels=["w", "x", "y", "z"])
+    assert graph_signature_bytes(g1) != graph_signature_bytes(g4)
+
+
+def test_structure_bytes_survive_weight_replacement():
+    g = ring([1.0, 2.0, 3.0, 4.0])
+    s = graph_structure_bytes(g)
+    g2 = g._with_weights_unchecked((4.0, 3.0, 2.0, 1.0))
+    # same topology object-graph: the cached structural half is shared
+    assert graph_structure_bytes(g2) == s
+    assert graph_signature_bytes(g2) != graph_signature_bytes(g)
+
+
+def test_float_weights_array_and_exact_refusal():
+    from fractions import Fraction
+
+    g = ring([1.0, 2, 3.0])  # ints coerce fine
+    f = ColumnarGraph.from_graph(g).float_weights()
+    assert f is not None and f.dtype == np.float64
+    assert list(f) == [1.0, 2.0, 3.0]
+    gf = ring([Fraction(1), Fraction(2), Fraction(3)])
+    # never an object-dtype array: exact scalars take the scalar path
+    assert ColumnarGraph.from_graph(gf).float_weights() is None
+
+
+def test_directed_arrays_pair_order_contract():
+    g = ring([1.0, 1.0, 1.0, 1.0])
+    src, dst, rev, index = ColumnarGraph.from_graph(g).directed_arrays()
+    # (u, v), (v, u) per sorted undirected edge -- the dynamics' historical
+    # order -- and the reverse permutation is the xor-with-1 pairing
+    for u, v in g.edges:
+        i = index[(u, v)]
+        assert index[(v, u)] == i ^ 1
+        assert (src[i], dst[i]) == (u, v)
+    assert all(rev[i] == i ^ 1 for i in range(len(src)))

@@ -1,0 +1,191 @@
+"""Property tests: the columnar engine is bit-identical to the classic one.
+
+The ``--engine`` flag is only safe to default to ``columnar`` because the
+two engines are interchangeable at the bit level -- same decompositions,
+same allocations, same dynamics arrays, same best responses -- on both the
+float and the exact backend.  These properties are the contract; weights
+deliberately include ``-0.0``, subnormals and zeros (the nastiest float
+citizens), and relabeled-isomorphic rings pin that label permutations
+commute with the whole pipeline.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attack import best_split
+from repro.core import (
+    bd_allocation,
+    bottleneck_decomposition,
+    dynamics_utilities,
+)
+from repro.engine import EngineContext
+from repro.graphs import ring
+from repro.numeric import EXACT, FLOAT
+from repro.theory.breakpoints import decomposition_signature
+
+
+def _contexts():
+    return EngineContext(engine="classic"), EngineContext(engine="columnar")
+
+
+# -- strategies -------------------------------------------------------------
+
+# A curated pool rather than st.floats(): every value is a legal weight,
+# and the nasty cases (-0.0, the smallest subnormal, a near-underflow
+# normal) are guaranteed to be drawn often instead of almost never.
+float_pool = st.sampled_from(
+    [1.0, 2.0, 3.5, 0.1, 7.25, 0.0, -0.0, 5e-324, 1e-300, 1e16]
+)
+float_weights_st = st.lists(float_pool, min_size=3, max_size=7).map(
+    lambda ws: ws if sum(ws) > 0 else ws[:-1] + [1.0]
+)
+exact_weights_st = st.lists(
+    st.integers(min_value=0, max_value=40).map(Fraction), min_size=3, max_size=7
+).map(lambda ws: ws if sum(ws) > 0 else ws[:-1] + [Fraction(1)])
+
+
+def _bits(xs):
+    """repr-level fingerprint: equal iff equal as bit patterns / objects."""
+    return [repr(x) for x in xs]
+
+
+# -- decompose --------------------------------------------------------------
+
+@given(float_weights_st)
+def test_decompose_bit_identical_float(ws):
+    g = ring(ws)
+    classic, columnar = _contexts()
+    dc = bottleneck_decomposition(g, FLOAT, classic)
+    dk = bottleneck_decomposition(g, FLOAT, columnar)
+    assert decomposition_signature(dc) == decomposition_signature(dk)
+    assert _bits(dc.alphas()) == _bits(dk.alphas())
+
+
+@given(exact_weights_st)
+def test_decompose_identical_exact(ws):
+    g = ring(ws)
+    classic, columnar = _contexts()
+    dc = bottleneck_decomposition(g, EXACT, classic)
+    dk = bottleneck_decomposition(g, EXACT, columnar)
+    assert decomposition_signature(dc) == decomposition_signature(dk)
+    assert dc.alphas() == dk.alphas()
+
+
+# -- allocate ---------------------------------------------------------------
+
+@given(float_weights_st)
+def test_allocation_bit_identical_float(ws):
+    g = ring(ws)
+    classic, columnar = _contexts()
+    uc = bd_allocation(g, backend=FLOAT, ctx=classic).utilities
+    uk = bd_allocation(g, backend=FLOAT, ctx=columnar).utilities
+    assert _bits(uc) == _bits(uk)
+
+
+@given(exact_weights_st)
+def test_allocation_identical_exact(ws):
+    g = ring(ws)
+    classic, columnar = _contexts()
+    uc = bd_allocation(g, backend=EXACT, ctx=classic).utilities
+    uk = bd_allocation(g, backend=EXACT, ctx=columnar).utilities
+    assert list(uc) == list(uk)
+
+
+# -- dynamics ---------------------------------------------------------------
+
+@given(float_weights_st)
+def test_dynamics_bit_identical(ws):
+    g = ring(ws)
+    classic, columnar = _contexts()
+    uc = dynamics_utilities(g, ctx=classic)
+    uk = dynamics_utilities(g, ctx=columnar)
+    assert uc.tobytes() == uk.tobytes()  # bit-level array equality
+
+
+# -- best response ----------------------------------------------------------
+
+def _same_response(a, b):
+    return (
+        repr(a.w1) == repr(b.w1)
+        and repr(a.w2) == repr(b.w2)
+        and repr(a.utility) == repr(b.utility)
+        and repr(a.honest_utility) == repr(b.honest_utility)
+    )
+
+
+@settings(max_examples=15)
+@given(float_weights_st, st.integers(0, 6))
+def test_best_response_bit_identical_float(ws, v_raw):
+    g = ring(ws)
+    v = v_raw % g.n
+    classic, columnar = _contexts()
+    rc = best_split(g, v, grid=8, refine_iters=12, ctx=classic)
+    rk = best_split(g, v, grid=8, refine_iters=12, ctx=columnar)
+    assert _same_response(rc, rk)
+
+
+@settings(max_examples=10)
+@given(exact_weights_st, st.integers(0, 6))
+def test_best_response_identical_exact(ws, v_raw):
+    g = ring(ws)
+    v = v_raw % g.n
+    classic, columnar = _contexts()
+    rc = best_split(g, v, grid=6, refine_iters=8, backend=EXACT, ctx=classic)
+    rk = best_split(g, v, grid=6, refine_iters=8, backend=EXACT, ctx=columnar)
+    assert _same_response(rc, rk)
+
+
+# -- relabeled-isomorphic rings ---------------------------------------------
+
+# Positive integer-valued floats for the rotation property: rotation
+# equivariance is only a *value*-level fact, never a bit-level one (flow
+# augmenting paths are not rotation-symmetric, so utilities can move by an
+# ulp; zero weights additionally hand the degenerate terminal pair out by
+# vertex id).  What IS bit-level is the engine contract: both engines walk
+# the relabeled instance identically, so they must agree on it exactly.
+int_float_weights_st = st.lists(
+    st.integers(min_value=1, max_value=40).map(float), min_size=3, max_size=7
+)
+
+
+@settings(max_examples=15)
+@given(int_float_weights_st, st.integers(1, 6))
+def test_rotation_isomorphism_commutes_with_engines(ws, shift):
+    """Relabeled-isomorphic rings: the decomposition structure and alphas
+    rotate exactly, utilities rotate up to float tolerance, and the
+    relabeled instance still gets bit-identical treatment from both
+    engines (a relabeling must never make the engines disagree -- labels
+    feed the cache key, not the arithmetic)."""
+    import math
+
+    from repro.core import bottleneck_decomposition as bd
+
+    n = len(ws)
+    k = shift % n
+    g = ring(ws)
+    h = ring(ws[k:] + ws[:k])  # vertex v of h == vertex (v + k) % n of g
+    classic, columnar = _contexts()
+    # structure and alphas are exact under rotation (integer arithmetic:
+    # each alpha is a ratio of exact integer sums, identical either way)
+    dg, dh = bd(g, FLOAT, columnar), bd(h, FLOAT, columnar)
+
+    def rot(S):  # g's vertex v appears in h as (v - k) % n
+        return frozenset((v - k) % n for v in S)
+
+    assert [(rot(p.B), rot(p.C), p.alpha) for p in dg.pairs] == [
+        (p.B, p.C, p.alpha) for p in dh.pairs
+    ]
+    for ctx in (classic, columnar):
+        ug = bd_allocation(g, backend=FLOAT, ctx=ctx).utilities
+        uh = bd_allocation(h, backend=FLOAT, ctx=ctx).utilities
+        for v in range(n):
+            assert math.isclose(uh[v], ug[(v + k) % n], rel_tol=1e-12)
+    # engines agree bit-for-bit on the relabeled instance (the cut
+    # orientation differs from g's, so this is a genuinely new sweep)
+    uc = bd_allocation(h, backend=FLOAT, ctx=classic).utilities
+    uk = bd_allocation(h, backend=FLOAT, ctx=columnar).utilities
+    assert _bits(uc) == _bits(uk)
+    rc = best_split(h, 0, grid=6, refine_iters=10, ctx=classic)
+    rk = best_split(h, 0, grid=6, refine_iters=10, ctx=columnar)
+    assert _same_response(rc, rk)
