@@ -108,6 +108,12 @@ class EngineSpec:
     corpus_dir: Optional[str] = None
     trace: bool = False
     engine: str = "columnar"
+    #: Free-form discriminator, not part of the built context.  Two specs
+    #: that differ only in ``tag`` build identical contexts but memoize
+    #: *separately* in worker processes (``_context_for`` keys on the whole
+    #: spec) -- the serving layer tags one spec per shard so concurrent
+    #: shard dispatches never share a metrics-drain source.
+    tag: str = ""
 
     def build(self, registry: SolverRegistry | None = None) -> "EngineContext":
         ctx = EngineContext(

@@ -50,6 +50,13 @@ INT_COUNTER_FIELDS = (
     "reconstruction_fallbacks",
     "template_builds",
     "template_hits",
+    "serve_requests",
+    "serve_responses",
+    "serve_errors",
+    "serve_batches",
+    "serve_coalesced",
+    "serve_cache_hits",
+    "serve_cache_misses",
 )
 
 
@@ -109,6 +116,17 @@ class Counters:
     reconstruction_fallbacks: int = 0
     template_builds: int = 0
     template_hits: int = 0
+    #: Serving family (see repro.serve): requests accepted off the wire,
+    #: responses written back, typed error responses, batches dispatched to
+    #: the worker pool, requests coalesced onto an already-in-flight
+    #: identical solve, and canonical-fingerprint response-cache traffic.
+    serve_requests: int = 0
+    serve_responses: int = 0
+    serve_errors: int = 0
+    serve_batches: int = 0
+    serve_coalesced: int = 0
+    serve_cache_hits: int = 0
+    serve_cache_misses: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Open ``timed`` depth per phase label.  Bookkeeping only -- excluded
     #: from snapshots, merges, and resets -- so that re-entering an

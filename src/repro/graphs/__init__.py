@@ -3,8 +3,11 @@
 from .weighted_graph import WeightedGraph
 from .columnar import (
     ColumnarGraph,
+    canonical_form,
+    canonical_signature_bytes,
     graph_signature_bytes,
     graph_structure_bytes,
+    weight_bytes,
 )
 from .builders import (
     ring,
@@ -36,8 +39,11 @@ from .validation import (
 __all__ = [
     "WeightedGraph",
     "ColumnarGraph",
+    "canonical_form",
+    "canonical_signature_bytes",
     "graph_signature_bytes",
     "graph_structure_bytes",
+    "weight_bytes",
     "ring",
     "path",
     "star",

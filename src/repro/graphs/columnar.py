@@ -39,6 +39,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ColumnarGraph",
+    "canonical_form",
+    "canonical_signature_bytes",
     "graph_structure_bytes",
     "graph_signature_bytes",
     "weight_bytes",
@@ -207,3 +209,88 @@ def graph_signature_bytes(g: "WeightedGraph") -> bytes:
         cached = graph_structure_bytes(g) + b"#" + weight_bytes(g.weights)
         g._sig = cached
     return cached
+
+
+# ---------------------------------------------------------------------------
+# isomorphism-canonical fingerprints (the serving layer's cache key)
+# ---------------------------------------------------------------------------
+#
+# ``graph_signature_bytes`` keys by the *labelled* instance: rotating a
+# ring's vertex ids produces a different signature even though every
+# rotation describes the same economy.  The serving layer wants the
+# opposite discipline -- isomorphic requests must share one cache entry --
+# so ``canonical_form`` quotients out the automorphisms we can afford to
+# compute.  For rings (the paper's universe, and the only topology whose
+# isomorphism group is cheap: 2n rotations/reflections) the canonical key
+# is the lexicographically minimal cyclic arrangement of the bit-exact
+# per-vertex weight bytes.  Everything else keys by its exact (label-free)
+# CSR structure plus weight bytes -- general graph canonization is
+# isomorphism-complete and not worth guessing at.
+
+def _ring_cycle(g: "WeightedGraph") -> list[int]:
+    """Vertices of a ring in one deterministic cyclic order.
+
+    Local twin of :func:`repro.graphs.rings.ring_order` (not imported to
+    keep this module's import graph a leaf): starts at vertex 0, steps to
+    the smaller-id neighbor first.  The caller guarantees ``g.is_ring()``.
+    """
+    order = [0]
+    prev, cur = 0, min(g._adj[0])
+    while cur != 0:
+        order.append(cur)
+        a, b = g._adj[cur]
+        prev, cur = cur, (a if b == prev else b)
+    return order
+
+
+def canonical_form(g: "WeightedGraph") -> tuple[bytes, tuple[int, ...]]:
+    """Isomorphism-canonical cache key of ``g`` plus the witnessing map.
+
+    Returns ``(key, order)`` where ``order[k]`` is the original vertex id
+    placed at canonical position ``k``; the canonical representative is the
+    graph with default labels whose position-``k`` weight is
+    ``g.weights[order[k]]`` (for a ring, positions are cyclically adjacent,
+    so it is the ring built directly over ``order``).
+
+    Guarantees:
+
+    * **Rings** -- any two rings related by rotation, reflection, or label
+      renaming produce byte-identical keys *and* byte-identical canonical
+      representatives; only ``order`` differs.  The key compares weights by
+      their bit-exact byte image (:func:`weight_bytes` discipline), so
+      ``-0.0``/``0.0``, subnormals, and one-ulp-distinct weights -- and
+      equal values of different scalar types -- never collide.
+    * **Everything else** -- ``order`` is the identity and the key is the
+      exact CSR structure (labels excluded -- labels never influence an
+      allocation) plus weight bytes, i.e. only trivially-relabelled copies
+      share an entry.
+    * The mapping is a fixed point: the canonical representative's own
+      ``canonical_form`` has the identity ``order`` (ties between equal
+      minimal arrangements are broken by enumeration order, and the
+      representative is enumerated first), so re-canonicalizing a served
+      instance never introduces a second permutation.
+    """
+    n = g.n
+    if g.is_ring():
+        per_vertex = [weight_bytes((w,)) for w in g.weights]
+        cyc = _ring_cycle(g)
+        reflected = [cyc[0]] + cyc[:0:-1]
+        best: tuple[bytes, ...] | None = None
+        best_order: tuple[int, ...] = ()
+        for seq in (cyc, reflected):
+            for r in range(n):
+                order = tuple(seq[r:] + seq[:r])
+                cand = tuple(per_vertex[v] for v in order)
+                if best is None or cand < best:
+                    best, best_order = cand, order
+        key = b"ring:" + struct.pack("<q", n) + b"|".join(best)  # type: ignore[arg-type]
+        return key, best_order
+    cols = ColumnarGraph.from_graph(g)
+    key = (b"gen:" + struct.pack("<q", n) + cols.indptr.tobytes()
+           + cols.indices.tobytes() + b"#" + weight_bytes(g.weights))
+    return key, tuple(range(n))
+
+
+def canonical_signature_bytes(g: "WeightedGraph") -> bytes:
+    """Just the key half of :func:`canonical_form`."""
+    return canonical_form(g)[0]

@@ -33,21 +33,25 @@ from .resources import (
 from .validate import (
     MAX_EDGES,
     MAX_VERTICES,
+    SERVE_OPS,
     check_scalar,
     scalar_from_json,
     set_validation,
     validate_graph_dict,
     validate_network_dict,
+    validate_request_dict,
     validation_enabled,
 )
 
 __all__ = [
     "MAX_VERTICES",
     "MAX_EDGES",
+    "SERVE_OPS",
     "check_scalar",
     "scalar_from_json",
     "validate_graph_dict",
     "validate_network_dict",
+    "validate_request_dict",
     "set_validation",
     "validation_enabled",
     "DEFAULT_BRUTEFORCE_LIMIT",

@@ -33,10 +33,12 @@ from ..numeric import Scalar
 __all__ = [
     "MAX_VERTICES",
     "MAX_EDGES",
+    "SERVE_OPS",
     "check_scalar",
     "scalar_from_json",
     "validate_graph_dict",
     "validate_network_dict",
+    "validate_request_dict",
     "set_validation",
     "validation_enabled",
 ]
@@ -231,6 +233,49 @@ def validate_graph_dict(d: Any) -> dict:
         for lab in labels:
             if not isinstance(lab, str):
                 raise _reject("graph label is not a string", lab)
+    return d
+
+
+#: Operations the ``repro-serve`` wire protocol accepts.  ``solve`` is the
+#: workload; the rest are control-plane (liveness probe, counters snapshot,
+#: graceful drain, immediate shutdown).
+SERVE_OPS = ("solve", "ping", "stats", "drain", "shutdown")
+
+#: Ceiling on request-id length; ids are opaque client correlation tokens
+#: echoed back verbatim, so an adversarial megabyte id must die here, not
+#: get copied into every response.
+_MAX_REQUEST_ID_LEN = 256
+
+
+def validate_request_dict(d: Any) -> dict:
+    """Shape-validate one ``repro-serve`` request envelope; returns ``d``.
+
+    Checks the *envelope* only: the payload is a dict, ``op`` names a known
+    operation, and ``id`` (if present) is a bounded string/int correlation
+    token.  A ``solve`` request must carry a ``graph`` field, but the graph
+    payload itself is validated by :func:`validate_graph_dict` at
+    construction time -- same two-stage discipline as every other boundary.
+    """
+    if not isinstance(d, dict):
+        raise _reject("request is not an object", type(d).__name__)
+    op = d.get("op")
+    if not isinstance(op, str):
+        raise _reject("request op is not a string", op)
+    if op not in SERVE_OPS:
+        raise MalformedInputError(
+            f"unknown request op {op!r}; expected one of {', '.join(SERVE_OPS)}"
+        )
+    req_id = d.get("id")
+    if req_id is not None and not isinstance(req_id, (str, int)):
+        raise _reject("request id is not a string or integer", req_id)
+    if isinstance(req_id, bool):
+        raise _reject("request id is not a string or integer", req_id)
+    if isinstance(req_id, str) and len(req_id) > _MAX_REQUEST_ID_LEN:
+        raise MalformedInputError(
+            f"request id length {len(req_id)} exceeds {_MAX_REQUEST_ID_LEN}"
+        )
+    if op == "solve" and "graph" not in d:
+        raise MalformedInputError("solve request is missing field 'graph'")
     return d
 
 

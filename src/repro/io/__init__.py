@@ -10,6 +10,7 @@ from .serialization import (
     load_result,
     network_from_dict,
     network_to_dict,
+    scalar_to_json,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "load_result",
     "network_from_dict",
     "network_to_dict",
+    "scalar_to_json",
 ]

@@ -22,15 +22,23 @@ from ..numeric import Scalar
 
 __all__ = ["graph_to_dict", "graph_from_dict", "dump_graph", "load_graph",
            "network_to_dict", "network_from_dict",
-           "dump_result", "load_result"]
+           "dump_result", "load_result", "scalar_to_json"]
 
 
-def _scalar_to_json(w: Scalar) -> Any:
+def scalar_to_json(w: Scalar) -> Any:
+    """Exact JSON encoding of one scalar (hex floats, ``p/q`` Fractions).
+
+    The inverse of :func:`repro.guard.scalar_from_json`; the serving layer
+    uses it directly so responses round-trip bit-identically.
+    """
     if isinstance(w, Fraction):
         return {"frac": f"{w.numerator}/{w.denominator}"}
     if isinstance(w, float):
         return {"float": w.hex()}
     return w  # int
+
+
+_scalar_to_json = scalar_to_json
 
 
 def _scalar_from_json(obj: Any) -> Scalar:

@@ -35,11 +35,15 @@ optionally ``.tracer.snapshot()``) so ``repro.obs`` stays a leaf package:
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Optional
 
 __all__ = [
     "register_worker_context",
     "registered_worker_contexts",
+    "begin_metrics_session",
+    "end_metrics_session",
     "drain_worker_metrics",
     "sync_worker_metrics",
     "absorb_metrics",
@@ -53,6 +57,24 @@ _SOURCES: list = []
 #: ``id(source)`` -> last-drained counter / span snapshots.
 _LAST_COUNTERS: dict[int, dict] = {}
 _LAST_SPANS: dict[int, dict] = {}
+#: Serializes snapshot-vs-mark sections so concurrent drains (the serving
+#: layer runs one supervised batch per shard on executor threads) each see
+#: a delta exactly once.  Two unguarded drains racing on the same source
+#: would both diff against the same stale mark and double-report the work.
+_DRAIN_LOCK = threading.Lock()
+
+# Quiesce the lock across fork: the serving layer forks worker processes
+# from executor threads while *other* threads may be inside a drain, and a
+# child forked at that moment would inherit a locked _DRAIN_LOCK with no
+# thread left to release it -- its first register_worker_context() would
+# deadlock.  Holding the lock over the fork (the same discipline the
+# logging module uses for its handler locks) guarantees every child starts
+# with it released.
+os.register_at_fork(
+    before=_DRAIN_LOCK.acquire,
+    after_in_parent=_DRAIN_LOCK.release,
+    after_in_child=_DRAIN_LOCK.release,
+)
 
 
 def register_worker_context(ctx) -> None:
@@ -62,9 +84,10 @@ def register_worker_context(ctx) -> None:
     intended sources are the per-process memoized spec contexts, which live
     for the process anyway.
     """
-    if any(src is ctx for src in _SOURCES):
-        return
-    _SOURCES.append(ctx)
+    with _DRAIN_LOCK:
+        if any(src is ctx for src in _SOURCES):
+            return
+        _SOURCES.append(ctx)
 
 
 def registered_worker_contexts() -> tuple:
@@ -151,20 +174,21 @@ def drain_worker_metrics() -> Optional[dict]:
     """
     counters_delta: dict = {}
     spans_delta: dict = {}
-    for src in _SOURCES:
-        key = id(src)
-        cur = src.counters.snapshot()
-        _merge_counter_deltas(
-            counters_delta, diff_counter_snapshots(cur, _LAST_COUNTERS.get(key))
-        )
-        _LAST_COUNTERS[key] = cur
-        tracer = getattr(src, "tracer", None)
-        if tracer is not None:
-            cur_spans = tracer.snapshot()
-            _merge_span_deltas(
-                spans_delta, diff_span_snapshots(cur_spans, _LAST_SPANS.get(key))
+    with _DRAIN_LOCK:
+        for src in _SOURCES:
+            key = id(src)
+            cur = src.counters.snapshot()
+            _merge_counter_deltas(
+                counters_delta, diff_counter_snapshots(cur, _LAST_COUNTERS.get(key))
             )
-            _LAST_SPANS[key] = cur_spans
+            _LAST_COUNTERS[key] = cur
+            tracer = getattr(src, "tracer", None)
+            if tracer is not None:
+                cur_spans = tracer.snapshot()
+                _merge_span_deltas(
+                    spans_delta, diff_span_snapshots(cur_spans, _LAST_SPANS.get(key))
+                )
+                _LAST_SPANS[key] = cur_spans
     out: dict = {}
     if counters_delta:
         out["counters"] = counters_delta
@@ -177,6 +201,50 @@ def sync_worker_metrics() -> None:
     """Advance the drain marks without reporting -- an explicit, readable
     spelling of 'discard whatever is pending' for sweep-start baselines."""
     drain_worker_metrics()
+
+
+#: Open drain sessions (supervised maps currently bracketed by
+#: begin/end).  Guarded by its own lock; ordering is always session lock
+#: -> drain lock, never the reverse.
+_ACTIVE_SESSIONS = 0
+_SESSION_LOCK = threading.Lock()
+
+os.register_at_fork(
+    before=_SESSION_LOCK.acquire,
+    after_in_parent=_SESSION_LOCK.release,
+    after_in_child=_SESSION_LOCK.release,
+)
+
+
+def begin_metrics_session() -> None:
+    """Open one accounting session (a ``supervised_map``'s bracket).
+
+    Only the session that takes the count from 0 to 1 discards pending
+    deltas (the sweep-start baseline).  An overlapping session -- the
+    serving layer dispatches several shards' maps concurrently -- must
+    *not* reset the marks: a sibling session's cells may have incremented
+    a source's counters without having drained them yet, and a mark reset
+    here would silently swallow that work.  Skipping the reset is safe:
+    marks only advance under :data:`_DRAIN_LOCK`, so every increment is
+    still reported by exactly one drain (attribution between overlapping
+    sessions may shift, totals never do).
+
+    The discard runs while the session lock is held, so a sibling's
+    ``begin`` cannot slip work in between the count transition and the
+    mark reset.
+    """
+    global _ACTIVE_SESSIONS
+    with _SESSION_LOCK:
+        if _ACTIVE_SESSIONS == 0:
+            drain_worker_metrics()
+        _ACTIVE_SESSIONS += 1
+
+
+def end_metrics_session() -> None:
+    """Close one accounting session opened by :func:`begin_metrics_session`."""
+    global _ACTIVE_SESSIONS
+    with _SESSION_LOCK:
+        _ACTIVE_SESSIONS = max(0, _ACTIVE_SESSIONS - 1)
 
 
 def absorb_metrics(delta: Optional[dict], counters=None, tracer=None) -> None:

@@ -59,9 +59,19 @@ from ..guard.resources import (
     set_bruteforce_limit,
     translate_resource_errors,
 )
-from ..obs.metrics import absorb_metrics, drain_worker_metrics, sync_worker_metrics
+from ..obs.metrics import (
+    absorb_metrics,
+    begin_metrics_session,
+    drain_worker_metrics,
+    end_metrics_session,
+)
 from .checkpoint import CheckpointJournal
-from .faults import current_injector, install_injector, parse_fault_spec
+from .faults import (
+    FaultInjector,
+    current_injector,
+    install_injector,
+    parse_fault_spec,
+)
 from .policy import RuntimePolicy
 
 __all__ = ["supervised_map", "run_cell"]
@@ -496,7 +506,11 @@ def supervised_map(
     key_fn = key_fn if key_fn is not None else str
     items = list(items)
 
-    sync_worker_metrics()
+    # Session bracket, not a bare mark-sync: when maps overlap (the serving
+    # layer dispatches one per shard concurrently), only the first may
+    # discard pending deltas -- a later reset would swallow a sibling map's
+    # not-yet-drained work.
+    begin_metrics_session()
     try:
         # A single item normally short-circuits to the serial path, but a
         # resource envelope can only be enforced inside a real worker process
@@ -504,7 +518,15 @@ def supervised_map(
         # the host): honor the envelope even for one cell.
         serial_single = len(items) <= 1 and envelope_from_policy(policy) is None
         if processes <= 0 or serial_single:
+            # An explicitly installed injector wins (the CLI's global
+            # --inject-faults path); otherwise honor policy.faults with a
+            # map-local injector, mirroring how each worker process builds
+            # one from the same spec string.  Local, not installed: the
+            # plan must not leak into unrelated maps in this process.
             injector = current_injector()
+            if injector is None and policy.faults:
+                injector = FaultInjector(
+                    parse_fault_spec(policy.faults), counters=counters)
             out: list = []
             for idx, item in enumerate(items):
                 if journal is not None:
@@ -524,4 +546,7 @@ def supervised_map(
                           escalate_fn, journal, key_fn, tracer=tracer)
         return sup.run()
     finally:
-        absorb_metrics(drain_worker_metrics(), counters=counters, tracer=tracer)
+        try:
+            absorb_metrics(drain_worker_metrics(), counters=counters, tracer=tracer)
+        finally:
+            end_metrics_session()

@@ -1,0 +1,62 @@
+"""Allocation-as-a-service: the long-lived ``repro-serve`` daemon.
+
+The CLI pipeline pays startup, validation, and decomposition on every
+invocation; production traffic must not.  This package is the serving
+layer on top of the existing substrate:
+
+* :mod:`repro.serve.protocol` -- newline-delimited JSON over a local TCP
+  socket; guard-validated request envelopes, typed error responses
+  (malformed input answers with a structured error, never a dropped
+  connection);
+* :mod:`repro.serve.solver` -- the per-request solve semantics: every
+  instance is normalized to its canonical representative
+  (:func:`repro.graphs.canonical_form`), solved via
+  :func:`repro.core.bottleneck_decomposition` +
+  :func:`repro.core.bd_allocation`, and mapped back through the witnessing
+  permutation, so isomorphic requests receive bit-identically mapped
+  responses;
+* :mod:`repro.serve.cache` -- the shared response cache keyed by the
+  rotation/reflection-canonical ring fingerprint, so relabelled copies of
+  one economy cost one solve;
+* :mod:`repro.serve.server` -- the asyncio front-end: request coalescing,
+  batch dispatch onto :func:`repro.runtime.supervised_map` (timeouts,
+  retries, resource envelopes, fault injection all apply per request),
+  shard-by-instance across worker processes, and ``repro.obs`` spans +
+  counters end-to-end;
+* :mod:`repro.serve.load` -- the seeded heavy-tailed load generator and
+  soak harness behind ``repro-serve soak``, recording p50/p99 latency and
+  throughput in the ``repro-bench`` schema (``BENCH_serve.json``).
+"""
+
+from .cache import ResponseCache
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_request_line,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from .server import AllocationServer, ServeConfig, ServeHandle, start_in_thread
+from .solver import (
+    canonical_request,
+    map_result,
+    single_shot_response,
+    solve_cell,
+)
+
+__all__ = [
+    "AllocationServer",
+    "PROTOCOL_VERSION",
+    "ResponseCache",
+    "ServeConfig",
+    "ServeHandle",
+    "canonical_request",
+    "decode_request_line",
+    "encode_response",
+    "error_response",
+    "map_result",
+    "ok_response",
+    "single_shot_response",
+    "solve_cell",
+    "start_in_thread",
+]

@@ -1,0 +1,70 @@
+"""Shared response cache keyed by the canonical instance fingerprint.
+
+The decomposition cache (:mod:`repro.engine.cache`) lives per process and
+keys by the *labelled* instance; this cache lives in the server front-end,
+keys by :func:`repro.graphs.canonical_form`'s rotation/reflection-canonical
+fingerprint, and stores the fully-encoded solve result in canonical
+coordinates -- so a relabelled copy of an economy the server has already
+priced is a front-end hit that never touches the worker pool.
+
+``maxsize <= 0`` disables the cache entirely, mirroring
+:class:`~repro.engine.cache.DecompositionCache` (and the PR-6 template
+cache): the ``cache_size=0`` knob means *every* caching layer is off, so
+counter totals are a pure function of the request stream -- independent of
+sharding, arrival order, and batch boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """Bounded LRU of canonical-coordinate solve results.
+
+    Values are the plain JSON-ready dicts produced by
+    :func:`repro.serve.solver.solve_cell`; they are treated as immutable
+    (the mapping step always builds fresh lists), so one entry can back
+    any number of concurrently-served responses.
+    """
+
+    __slots__ = ("maxsize", "_entries")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[bytes, dict] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> Optional[dict]:
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: bytes, value: dict) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {"size": len(self._entries), "maxsize": self.maxsize}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResponseCache(size={len(self)}/{self.maxsize})"

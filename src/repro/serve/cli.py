@@ -1,0 +1,155 @@
+"""``repro-serve``: run, load-test, and soak the allocation daemon.
+
+Three subcommands::
+
+    repro-serve serve [--port P] [--shards N] [--batch-max K] [--linger MS]
+                      [--cache-size N] [--timeout S] [--retries N]
+                      [--inject-faults SPEC]
+        Run the daemon in the foreground until a client sends ``shutdown``
+        (or SIGINT).  ``--port 0`` binds an ephemeral port and prints it.
+
+    repro-serve load --port P [--requests N] [--clients N] [--seed S] ...
+        Drive the seeded heavy-tailed mix against an already-running
+        server; prints latency percentiles and any response problems.
+
+    repro-serve soak [--out BENCH_serve.json] [server + load flags]
+        Start a server, run the full seeded soak (including the sampled
+        differential-audit leg), and write a ``repro-bench/1`` report.
+        Exits non-zero if any response was dropped, corrupted, or differed
+        from its fresh single-shot solve -- the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional
+
+from ..obs.bench import save_report
+from ..runtime import RuntimePolicy
+from .load import SOAK_BENCH_NAME, LoadConfig, run_load, run_soak
+from .server import ServeConfig, start_in_thread
+
+__all__ = ["main"]
+
+
+def _add_server_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral, printed at startup)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker shard processes (0 = solve in-process)")
+    p.add_argument("--batch-max", type=int, default=16)
+    p.add_argument("--linger", type=float, default=2.0, metavar="MS",
+                   help="batching window in milliseconds")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="response/decomposition cache size (0 disables "
+                        "caching AND coalescing for deterministic counters)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall timeout in seconds")
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault spec, e.g. worker:kill@0")
+
+
+def _add_load_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--requests", type=int, default=250)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pool", type=int, default=12)
+    p.add_argument("--zipf-s", type=float, default=1.3)
+    p.add_argument("--malformed-rate", type=float, default=0.02)
+    p.add_argument("--audit-rate", type=float, default=0.1)
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    policy = RuntimePolicy(timeout=args.timeout, retries=args.retries)
+    return ServeConfig(
+        host=args.host, port=args.port, shards=args.shards,
+        batch_max=args.batch_max, linger_ms=args.linger,
+        cache_size=args.cache_size, policy=policy,
+        faults=args.inject_faults,
+    )
+
+
+def _load_config(args: argparse.Namespace) -> LoadConfig:
+    return LoadConfig(
+        requests=args.requests, clients=args.clients, seed=args.seed,
+        pool=args.pool, zipf_s=args.zipf_s,
+        malformed_rate=args.malformed_rate, audit_rate=args.audit_rate,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="batched allocation-as-a-service daemon",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the daemon in the foreground")
+    _add_server_flags(serve)
+
+    load = sub.add_parser("load", help="drive load at a running server")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    _add_load_flags(load)
+
+    soak = sub.add_parser(
+        "soak", help="server + seeded soak + repro-bench report")
+    _add_server_flags(soak)
+    _add_load_flags(soak)
+    soak.add_argument("--out", default="BENCH_serve.json")
+    soak.add_argument("--tag", default="serve")
+    return parser
+
+
+def _print_stats(stats: dict) -> None:
+    lat = stats["latency_ms"]
+    print(f"{stats['responses']}/{stats['requests']} responses "
+          f"({stats['clients']} clients, {stats['audited']} audited), "
+          f"{stats['throughput_rps']:.1f} req/s, "
+          f"p50 {lat['p50']:.2f}ms  p90 {lat['p90']:.2f}ms  "
+          f"p99 {lat['p99']:.2f}ms  max {lat['max']:.2f}ms")
+    for problem in stats["problems"]:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        handle = start_in_thread(_serve_config(args))
+        print(f"repro-serve listening on {args.host}:{handle.port} "
+              f"(shards={args.shards}, cache={args.cache_size})", flush=True)
+        try:
+            handle.thread.join()
+        except KeyboardInterrupt:
+            handle.stop()
+        return 0
+
+    if args.command == "load":
+        stats = asyncio.run(run_load(args.host, args.port, _load_config(args)))
+        _print_stats(stats)
+        return 1 if stats["problems"] else 0
+
+    # soak
+    report = run_soak(_serve_config(args), _load_config(args), tag=args.tag)
+    problems = report.pop("_problems")
+    bench = report["benchmarks"][SOAK_BENCH_NAME]
+    save_report(report, args.out)
+    lat = bench["latency_ms"]
+    print(f"wrote {args.out}: {bench['requests']} requests, "
+          f"{bench['throughput_rps']:.1f} req/s, "
+          f"p50 {lat['p50']:.2f}ms  p99 {lat['p99']:.2f}ms, "
+          f"cache hits {bench['cache']['hits']} "
+          f"(coalesced {bench['cache']['coalesced']}), "
+          f"audited {bench['audited']}, problems {len(problems)}")
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Seeded load generation and the soak harness behind ``repro-serve soak``.
+
+The request mix models the traffic a shared allocation service actually
+sees: a **heavy-tailed popularity** distribution over a pool of base
+economies (a few economies dominate; the tail is long), with every hit on
+a popular economy arriving under a *random relabelling* (rotation and/or
+reflection of the ring) -- exactly the shape the canonical-fingerprint
+cache exists for.  A small malformed-request fraction keeps the typed
+error path under load, and a sampled **paranoid-audit leg** compares
+served responses bit-for-bit against fresh single-shot
+:mod:`repro.core` solves computed *before* the clock starts.
+
+Everything is a pure function of the seed: the request list, the audited
+subset, and the expected responses are all deterministic, so a soak run is
+replayable and its counter totals are comparable across machines.  Wall
+time is measured over a **fixed request count** (closed-loop clients), so
+``wall_s`` in the emitted ``repro-bench`` report is a genuine regression
+signal rather than a function of a time budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.builders import ring, random_ring
+from ..io import graph_to_dict
+from ..obs.bench import BENCH_FORMAT, _fingerprint
+from .protocol import PROTOCOL_VERSION
+from .server import ServeConfig, start_in_thread
+from .solver import single_shot_response
+
+__all__ = [
+    "LoadConfig",
+    "SOAK_BENCH_NAME",
+    "build_requests",
+    "build_report",
+    "run_load",
+    "run_soak",
+]
+
+#: The single benchmark name the soak emits; CI compares the committed
+#: baseline and a fresh run under this exact key.
+SOAK_BENCH_NAME = "serve_soak_mix"
+
+#: Counters whose totals are a pure function of the request stream (cache
+#: hit/miss/coalesce splits depend on arrival timing, so they are reported
+#: as extras, never gated on).
+DETERMINISTIC_COUNTERS = ("serve_requests", "serve_responses", "serve_errors")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One seeded soak workload (see module docstring for the mix)."""
+
+    requests: int = 250
+    clients: int = 8
+    seed: int = 0
+    pool: int = 12          #: distinct base economies
+    zipf_s: float = 1.3     #: popularity exponent (higher = heavier head)
+    n_min: int = 4
+    n_max: int = 24
+    malformed_rate: float = 0.02
+    audit_rate: float = 0.1  #: fraction differentially audited
+
+
+def _zipf_weights(k: int, s: float) -> np.ndarray:
+    w = 1.0 / np.arange(1, k + 1, dtype=float) ** s
+    return w / w.sum()
+
+
+def _relabel(weights: list, rot: int, reflect: bool) -> list:
+    out = list(reversed(weights)) if reflect else list(weights)
+    return out[rot:] + out[:rot]
+
+
+def build_requests(cfg: LoadConfig) -> list[dict]:
+    """The deterministic request script: ``cfg.requests`` entries.
+
+    Each entry::
+
+        {"line": bytes,                  # exact wire bytes to send
+         "id": int,
+         "kind": "solve" | "malformed",
+         "expect": result-dict | None,   # audited solves: exact expected result
+         "expect_error": str | None}     # malformed: expected error.type
+
+    Sizes, popularity ranks, relabellings, the malformed subset, and the
+    audited subset are all drawn from one seeded generator, so two builds
+    from the same config are byte-identical.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    sizes = cfg.n_min + rng.choice(
+        cfg.n_max - cfg.n_min + 1,
+        size=cfg.pool,
+        p=_zipf_weights(cfg.n_max - cfg.n_min + 1, 1.0),
+    )
+    bases = [random_ring(int(n), rng, "loguniform", 0.1, 10.0) for n in sizes]
+    popularity = _zipf_weights(cfg.pool, cfg.zipf_s)
+
+    script: list[dict] = []
+    for i in range(cfg.requests):
+        if rng.random() < cfg.malformed_rate:
+            flavor = int(rng.integers(2))
+            if flavor == 0:
+                payload = b'{"op": "frobnicate", "id": %d}' % i
+            else:
+                bad = {"op": "solve", "id": i,
+                       "graph": {"n": 2, "edges": [[0, 1]],
+                                 "weights": [{"float": "bogus"}, 1]}}
+                payload = json.dumps(bad).encode("utf-8")
+            script.append({
+                "line": payload + b"\n", "id": i, "kind": "malformed",
+                "expect": None, "expect_error": "MalformedInputError",
+            })
+            continue
+        base = bases[int(rng.choice(cfg.pool, p=popularity))]
+        rot = int(rng.integers(base.n))
+        reflect = bool(rng.integers(2))
+        g = ring(_relabel(list(base.weights), rot, reflect))
+        req = {"op": "solve", "id": i, "graph": graph_to_dict(g)}
+        expect = (single_shot_response(g)
+                  if rng.random() < cfg.audit_rate else None)
+        script.append({
+            "line": json.dumps(req).encode("utf-8") + b"\n", "id": i,
+            "kind": "solve", "expect": expect, "expect_error": None,
+        })
+    return script
+
+
+async def _client(host: str, port: int, entries: list[dict],
+                  latencies: list[float], problems: list[str]) -> None:
+    """One closed-loop client: send, await the matching response, repeat."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for entry in entries:
+            t0 = time.perf_counter()
+            writer.write(entry["line"])
+            await writer.drain()
+            raw = await reader.readline()
+            latencies.append(time.perf_counter() - t0)
+            if not raw:
+                problems.append(f"id={entry['id']}: connection dropped")
+                return
+            resp = json.loads(raw)
+            _check(entry, resp, problems)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _check(entry: dict, resp: dict, problems: list[str]) -> None:
+    rid = entry["id"]
+    if entry["kind"] == "malformed":
+        # Envelope-level garbage answers with id=None (the id could not be
+        # trusted); payload-level garbage echoes the id.  Either way the
+        # response must be a typed error of the expected class.
+        if resp.get("status") != "error":
+            problems.append(f"id={rid}: malformed request answered {resp!r}")
+        elif resp["error"]["type"] != entry["expect_error"]:
+            problems.append(
+                f"id={rid}: expected {entry['expect_error']}, "
+                f"got {resp['error']['type']}")
+        return
+    if resp.get("id") != rid:
+        problems.append(f"id={rid}: response carries id={resp.get('id')!r}")
+        return
+    if resp.get("status") != "ok":
+        problems.append(f"id={rid}: unexpected error {resp.get('error')!r}")
+        return
+    if entry["expect"] is not None and resp["result"] != entry["expect"]:
+        problems.append(
+            f"id={rid}: served response differs from single-shot solve")
+
+
+async def run_load(host: str, port: int, cfg: LoadConfig,
+                   script: Optional[list[dict]] = None) -> dict:
+    """Drive one soak against a running server; returns the load stats.
+
+    ``script`` defaults to :func:`build_requests(cfg)`; pass it explicitly
+    to amortize the build (and its audit solves) across runs.
+    """
+    if script is None:
+        script = build_requests(cfg)
+    clients = max(1, min(cfg.clients, len(script)))
+    shards: list[list[dict]] = [script[i::clients] for i in range(clients)]
+    latencies: list[float] = []
+    problems: list[str] = []
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(_client(host, port, shard, latencies, problems) for shard in shards)
+    )
+    wall = time.perf_counter() - t0
+    lat = np.sort(np.asarray(latencies, dtype=float)) * 1000.0
+    audited = sum(1 for e in script if e["expect"] is not None)
+    return {
+        "requests": len(script),
+        "responses": len(latencies),
+        "clients": clients,
+        "audited": audited,
+        "problems": problems,
+        "wall_s": wall,
+        "throughput_rps": len(script) / wall if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": float(np.percentile(lat, 50)) if len(lat) else 0.0,
+            "p90": float(np.percentile(lat, 90)) if len(lat) else 0.0,
+            "p99": float(np.percentile(lat, 99)) if len(lat) else 0.0,
+            "max": float(lat[-1]) if len(lat) else 0.0,
+        },
+    }
+
+
+def build_report(tag: str, load_stats: dict, server_stats: dict,
+                 cfg: LoadConfig, serve_config: ServeConfig) -> dict:
+    """Soak results -> one ``repro-bench/1`` report (``BENCH_serve.json``).
+
+    The ``counters`` block carries only the stream-deterministic serve
+    counters (:data:`DETERMINISTIC_COUNTERS`), so ``repro-bench compare``
+    sees zero counter drift across timing-different runs; latency,
+    throughput, cache behavior, and the span breakdown ride along as
+    extras.
+    """
+    counters = {k: server_stats.get(k, 0) for k in DETERMINISTIC_COUNTERS}
+    bench = {
+        "group": "serve",
+        "wall_s": load_stats["wall_s"],
+        "counters": counters,
+        "phase_seconds": {},
+        "spans": server_stats.get("spans", {}),
+        "latency_ms": load_stats["latency_ms"],
+        "throughput_rps": load_stats["throughput_rps"],
+        "requests": load_stats["requests"],
+        "clients": load_stats["clients"],
+        "audited": load_stats["audited"],
+        "problems": len(load_stats["problems"]),
+        "cache": {
+            "hits": server_stats.get("serve_cache_hits", 0),
+            "misses": server_stats.get("serve_cache_misses", 0),
+            "coalesced": server_stats.get("serve_coalesced", 0),
+            "batches": server_stats.get("serve_batches", 0),
+        },
+        "serve_config": {
+            "shards": serve_config.shards,
+            "batch_max": serve_config.batch_max,
+            "linger_ms": serve_config.linger_ms,
+            "cache_size": serve_config.cache_size,
+            "faults": serve_config.faults,
+        },
+        "load_config": {
+            "requests": cfg.requests, "clients": cfg.clients,
+            "seed": cfg.seed, "pool": cfg.pool, "zipf_s": cfg.zipf_s,
+            "malformed_rate": cfg.malformed_rate,
+            "audit_rate": cfg.audit_rate,
+        },
+    }
+    return {
+        "format": BENCH_FORMAT,
+        "tag": tag,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "rounds": 1,
+        "solver": serve_config.spec.solver,
+        "fingerprint": _fingerprint(),
+        "benchmarks": {SOAK_BENCH_NAME: bench},
+        "totals": {"wall_s": bench["wall_s"], "counters": dict(counters)},
+    }
+
+
+def run_soak(serve_config: Optional[ServeConfig] = None,
+             load_config: Optional[LoadConfig] = None,
+             tag: str = "serve") -> dict:
+    """Start a server, drive the seeded soak, return the bench report.
+
+    The report's ``benchmarks[...].problems`` count must be zero for a
+    healthy run; the CLI exits non-zero otherwise and prints each problem.
+    The raw problem list rides on the returned dict under ``_problems``
+    (stripped by ``save_report``'s JSON round-trip consumers via the
+    underscore convention -- it is for the caller, not the baseline).
+    """
+    serve_config = serve_config if serve_config is not None else ServeConfig()
+    load_config = load_config if load_config is not None else LoadConfig()
+    script = build_requests(load_config)
+    handle = start_in_thread(serve_config)
+    try:
+        stats = asyncio.run(
+            run_load(serve_config.host, handle.port, load_config, script))
+        server_stats = handle.server.stats()
+    finally:
+        handle.stop()
+    report = build_report(tag, stats, server_stats, load_config, serve_config)
+    report["_problems"] = stats["problems"]
+    return report

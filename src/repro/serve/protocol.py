@@ -1,0 +1,83 @@
+"""The ``repro-serve`` wire protocol: newline-delimited JSON envelopes.
+
+One request per line, one response per line, UTF-8, over a local TCP
+socket.  The framing is deliberately primitive -- every language can speak
+it, a soak harness can replay a transcript byte-for-byte, and a torn line
+is detectable (no closing newline) rather than silently half-parsed.
+
+Requests::
+
+    {"op": "solve", "id": 7, "graph": {...graph_to_dict payload...}}
+    {"op": "ping" | "stats" | "drain" | "shutdown", "id": ...}
+
+Responses::
+
+    {"id": 7, "status": "ok", "result": {...}}
+    {"id": 7, "status": "error", "error": {"type": "...", "message": "..."}}
+
+The contract at this boundary mirrors :mod:`repro.guard` everywhere else:
+malformed bytes, malformed JSON, unknown ops, and invalid graph payloads
+each produce a *typed error response* on the same connection -- the
+connection is never dropped and the server never crashes on input.  The
+``error.type`` field carries the exception class name from the established
+taxonomy (``MalformedInputError``, ``GraphError``, ...), so clients can
+dispatch on it exactly like in-process callers dispatch on exception types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..exceptions import MalformedInputError
+from ..guard import validate_request_dict
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "decode_request_line",
+    "encode_response",
+    "error_response",
+    "ok_response",
+]
+
+#: Bumped on breaking wire-format changes; reported by ``ping``/``stats``.
+PROTOCOL_VERSION = "repro-serve/1"
+
+
+def decode_request_line(line: bytes) -> dict:
+    """One wire line -> validated request envelope.
+
+    Raises :class:`MalformedInputError` for undecodable bytes, non-JSON,
+    non-object payloads, and envelope violations (unknown op, oversized
+    id, solve without a graph).  The graph payload itself is *not*
+    validated here -- :func:`repro.io.graph_from_dict` runs the full guard
+    pass when the solve is prepared, so the deep per-scalar work happens
+    once, not twice.
+    """
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise MalformedInputError(f"request line is not UTF-8: {exc}") from exc
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MalformedInputError(f"request line is not valid JSON: {exc}") from exc
+    return validate_request_dict(obj)
+
+
+def ok_response(req_id: Optional[Any], result: dict) -> dict:
+    return {"id": req_id, "status": "ok", "result": result}
+
+
+def error_response(req_id: Optional[Any], exc: BaseException) -> dict:
+    """Typed error envelope from any exception of the library taxonomy."""
+    return {
+        "id": req_id,
+        "status": "error",
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def encode_response(resp: dict) -> bytes:
+    """Response dict -> one wire line (compact separators, trailing LF)."""
+    return json.dumps(resp, separators=(",", ":")).encode("utf-8") + b"\n"

@@ -1,0 +1,491 @@
+"""The asyncio serving front-end: accept, coalesce, batch, shard, respond.
+
+One :class:`AllocationServer` owns a local TCP listener, a response cache,
+and a single batcher task.  The life of a solve request::
+
+    accept --> canonicalize --> cache? --> coalesce? --> queue
+                                   |           |
+                                  hit       in-flight      [batcher]
+                                   |           |      flush on batch_max
+                                   v           v        or linger expiry
+                                respond <-- future <-- shard by sha256(key)
+                                                         |
+                                            supervised_map per shard
+                                        (timeouts/retries/escalation/faults)
+
+Design points, each load-bearing:
+
+* **Canonicalize at accept.**  The full guard pass and the canonical-form
+  computation happen once per request on the event loop (instances are
+  small); everything downstream -- cache, coalescing, sharding, workers --
+  keys and operates on the canonical representative only, so two
+  relabellings of one economy are indistinguishable past this point.
+* **Coalesce by canonical key.**  Identical in-flight instances share one
+  future and one worker cell.  Disabled together with the cache when
+  ``cache_size=0``: coalescing makes solve counts depend on arrival
+  timing, and the ``cache_size=0`` contract is that counter totals are a
+  pure function of the request stream.
+* **One batcher, per-flush dispatch.**  Unique instances accumulate until
+  ``batch_max`` or the ``linger`` window expires, then the flush is
+  partitioned by ``sha256(key) % shards`` and each shard runs a
+  :func:`repro.runtime.supervised_map` (its own worker process, the full
+  timeout/retry/escalate/fault ladder) on an executor thread.  Shards of
+  one flush run concurrently; the batcher does not pull new work until the
+  flush lands, which bounds memory and makes drain trivial.
+* **Metrics merge on the event loop.**  Each shard dispatch gets its own
+  :class:`~repro.engine.counters.Counters` and tracer; snapshots are merged
+  into the server context only on the event loop thread, so concurrent
+  shards never race on the shared counters (the process-global drain marks
+  are additionally lock-guarded in :mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..engine import Counters, EngineContext, EngineSpec
+from ..exceptions import ReproError
+from ..obs.tracer import Tracer
+from ..runtime import RuntimePolicy, supervised_map
+
+# Imported for its side effect: forked shard workers resolve
+# repro.analysis.parallel._context_for on their first cell, and loading it
+# *before* any fork keeps children out of the import machinery (a child
+# forked while another thread holds an import lock would deadlock there).
+from ..analysis import parallel as _parallel  # noqa: F401
+from .cache import ResponseCache
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_request_line,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from .solver import canonical_request, map_result, solve_cell, solve_cell_exact
+
+__all__ = ["AllocationServer", "ServeConfig", "ServeHandle", "start_in_thread"]
+
+#: Ceiling on one request line; a graph payload is ~60 bytes/vertex, so
+#: this admits rings far beyond anything the solvers handle interactively
+#: while keeping a garbage client from ballooning the reader buffer.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything an :class:`AllocationServer` needs, in one frozen value.
+
+    ``cache_size`` governs *every* caching layer at once: the front-end
+    response cache, request coalescing, and (via ``spec.with_cache``) the
+    per-worker decomposition cache -- ``0`` means counter totals are
+    exactly reproducible for a given request stream, independent of
+    sharding and timing.  ``shards=0`` solves in-process on the serial
+    supervised path (no worker processes; same retry/escalation ladder) --
+    the debugging mode.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is on the handle
+    spec: EngineSpec = field(default_factory=EngineSpec)
+    shards: int = 2
+    batch_max: int = 16
+    linger_ms: float = 2.0
+    cache_size: int = 1024
+    policy: Optional[RuntimePolicy] = None
+    faults: Optional[str] = None
+
+    def effective_spec(self) -> EngineSpec:
+        return self.spec.with_cache(self.cache_size)
+
+    def effective_policy(self) -> RuntimePolicy:
+        policy = self.policy if self.policy is not None else RuntimePolicy()
+        if self.faults is not None:
+            policy = replace(policy, faults=self.faults)
+        return policy
+
+
+class _Cell:
+    """One queued unit of worker work: a unique canonical instance."""
+
+    __slots__ = ("key", "canon_dict", "future")
+
+    def __init__(self, key: bytes, canon_dict: dict, future: asyncio.Future) -> None:
+        self.key = key
+        self.canon_dict = canon_dict
+        self.future = future
+
+
+class AllocationServer:
+    """The serving daemon; create, ``await start()``, ``await wait_closed()``.
+
+    All mutable state (cache, coalescing map, counters) is touched only on
+    the event loop thread; executor threads receive immutable cells and
+    return ``(results, error, counters, tracer)`` tuples to merge.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.spec = config.effective_spec()
+        # One tagged spec per shard: cells of shard i always solve on a
+        # context memoized under spec i, so concurrent shard dispatches
+        # (including the serial single-cell short-circuit, which runs in
+        # *this* process) each accumulate onto their own metrics-drain
+        # source and stay individually attributable.
+        self.shard_specs = [
+            replace(self.spec, tag=f"serve-shard-{i}")
+            for i in range(max(config.shards, 1))
+        ]
+        self.policy = config.effective_policy()
+        tracer = Tracer(enabled=True)
+        self.ctx = EngineContext(cache_size=0, tracer=tracer)
+        self.cache = ResponseCache(config.cache_size)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._inflight: dict[bytes, asyncio.Future] = {}
+        self._open: set = set()  # every unresolved cell future (drain waits)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._closed = asyncio.Event()
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.config.host,
+            self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._batcher_task = asyncio.get_running_loop().create_task(self._batcher())
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain queued work, then close the listener."""
+        if self._stopping:
+            await self._closed.wait()
+            return
+        self._stopping = True
+        await self.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._queue.put(None)  # batcher shutdown sentinel
+        if self._batcher_task is not None:
+            await self._batcher_task
+        self._closed.set()
+
+    async def drain(self) -> None:
+        """Wait until every accepted solve has a resolved result.
+
+        The batcher never holds work outside the queue and the open-future
+        set, so quiescence is exactly: queue empty and no open futures.
+        """
+        while not self._queue.empty() or self._open:
+            pending = list(self._open)
+            if pending:
+                await asyncio.wait(pending)
+            else:
+                await asyncio.sleep(0.001)
+
+    def stats(self) -> dict:
+        out = self.ctx.stats()
+        out["protocol"] = PROTOCOL_VERSION
+        out["serve_config"] = {
+            "shards": self.config.shards,
+            "batch_max": self.config.batch_max,
+            "linger_ms": self.config.linger_ms,
+            "cache_size": self.config.cache_size,
+        }
+        out["response_cache"] = self.cache.stats()
+        return out
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError) as exc:
+                    # Oversized line: answer with a typed error, then close
+                    # (the stream position is unrecoverable past this point).
+                    self.ctx.counters.serve_errors += 1
+                    writer.write(encode_response(error_response(None, exc)))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                resp = await self._handle_line(line)
+                close = resp.pop("_close", False)
+                writer.write(encode_response(resp))
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        """One request line -> one response dict.  Never raises: every
+        failure mode maps to a typed error envelope on the same
+        connection."""
+        with self.ctx.span("serve/accept"):
+            try:
+                req = decode_request_line(line)
+            except ReproError as exc:
+                self.ctx.counters.serve_errors += 1
+                return error_response(None, exc)
+        op = req["op"]
+        req_id = req.get("id")
+        if op == "ping":
+            return ok_response(req_id, {"protocol": PROTOCOL_VERSION})
+        if op == "stats":
+            return ok_response(req_id, self.stats())
+        if op == "drain":
+            await self.drain()
+            return ok_response(req_id, self.stats())
+        if op == "shutdown":
+            # Respond first, then stop: the client must see the ack.  The
+            # listener closes after drain, so in-flight work completes.
+            resp = ok_response(req_id, {"stopping": True})
+            resp["_close"] = True
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return resp
+        return await self._handle_solve(req)
+
+    async def _handle_solve(self, req: dict) -> dict:
+        req_id = req.get("id")
+        self.ctx.counters.serve_requests += 1
+        try:
+            key, order, canon_dict = canonical_request(req["graph"])
+        except ReproError as exc:
+            self.ctx.counters.serve_errors += 1
+            return error_response(req_id, exc)
+
+        # Every solve request is exactly one of: cache hit, coalesced onto
+        # an in-flight solve, or a miss that enqueues a new cell -- the
+        # three counters tile serve_requests (minus typed errors), which
+        # the metrics tests assert.
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.ctx.counters.serve_cache_hits += 1
+            return self._respond(req_id, cached, order)
+
+        coalesce = self.cache.enabled  # cache_size=0 disables both layers
+        with self.ctx.span("serve/coalesce"):
+            future = self._inflight.get(key) if coalesce else None
+            if future is not None:
+                self.ctx.counters.serve_coalesced += 1
+            else:
+                if self.cache.enabled:
+                    self.ctx.counters.serve_cache_misses += 1
+                future = asyncio.get_running_loop().create_future()
+                if coalesce:
+                    self._inflight[key] = future
+                self._open.add(future)
+                future.add_done_callback(self._open.discard)
+                await self._queue.put(_Cell(key, canon_dict, future))
+
+        try:
+            result = await asyncio.shield(future)
+        except ReproError as exc:
+            self.ctx.counters.serve_errors += 1
+            return error_response(req_id, exc)
+        except Exception as exc:  # supervisor-surfaced permanent failure
+            self.ctx.counters.serve_errors += 1
+            return error_response(req_id, exc)
+        return self._respond(req_id, result, order)
+
+    def _respond(self, req_id, result: dict, order) -> dict:
+        if "error" in result:
+            self.ctx.counters.serve_errors += 1
+            return {"id": req_id, "status": "error", "error": dict(result["error"])}
+        self.ctx.counters.serve_responses += 1
+        with self.ctx.span("serve/respond"):
+            return ok_response(req_id, map_result(result, order))
+
+    # -- batching and dispatch -------------------------------------------
+
+    async def _batcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        linger = max(self.config.linger_ms, 0.0) / 1000.0
+        while True:
+            cell = await self._queue.get()
+            if cell is None:
+                return
+            batch = [cell]
+            deadline = loop.time() + linger
+            stop = False
+            while len(batch) < self.config.batch_max:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            await self._flush(batch)
+            if stop:
+                return
+
+    async def _flush(self, batch: list) -> None:
+        """Dispatch one flush: shard, solve concurrently, settle futures."""
+        self.ctx.counters.serve_batches += 1
+        loop = asyncio.get_running_loop()
+        nshards = max(self.config.shards, 1)
+        shards: dict[int, list] = {}
+        for cell in batch:
+            digest = hashlib.sha256(cell.key).digest()
+            sid = int.from_bytes(digest[:4], "little") % nshards
+            shards.setdefault(sid, []).append(cell)
+
+        with self.ctx.span("serve/dispatch"):
+            outcomes = await asyncio.gather(
+                *(
+                    loop.run_in_executor(None, self._solve_shard, sid, cells)
+                    for sid, cells in shards.items()
+                )
+            )
+
+        for cells, (results, error, counters, tracer) in zip(
+            shards.values(), outcomes
+        ):
+            # Merge on the event loop thread only -- no executor thread
+            # ever touches the shared context.
+            self.ctx.counters.merge_snapshot(counters.snapshot())
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.merge_snapshot(tracer.snapshot())
+            for i, cell in enumerate(cells):
+                self._inflight.pop(cell.key, None)
+                if cell.future.cancelled():
+                    continue
+                if error is not None:
+                    cell.future.set_exception(error)
+                else:
+                    result = results[i]
+                    if "error" not in result:
+                        self.cache.put(cell.key, result)
+                    cell.future.set_result(result)
+
+    def _solve_shard(self, sid: int, cells: list):
+        """Executor-thread entry: one supervised map over a shard's cells.
+
+        ``shards=0`` runs the serial in-process path (``processes=0``);
+        otherwise each shard gets one worker process per flush, so the
+        resource envelope / timeout / kill-recovery machinery is live and a
+        worker death costs one shard's retry, not the server.
+        """
+        counters = Counters()
+        tracer = Tracer(enabled=True)
+        processes = 0 if self.config.shards <= 0 else 1
+        items = [(self.shard_specs[sid], cell.canon_dict) for cell in cells]
+        try:
+            results = supervised_map(
+                solve_cell,
+                items,
+                processes=processes,
+                policy=self.policy,
+                counters=counters,
+                escalate_fn=solve_cell_exact,
+                tracer=tracer,
+            )
+            return results, None, counters, tracer
+        except Exception as exc:
+            return None, exc, counters, tracer
+
+
+# -- embedding: run the server on a background thread ----------------------
+
+
+class ServeHandle:
+    """A running server on a daemon thread; the test/CLI embedding handle."""
+
+    def __init__(self, server: AllocationServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread, port: int) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+        self.port = port
+
+    @property
+    def ctx(self) -> EngineContext:
+        return self.server.ctx
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown from any thread; idempotent.
+
+        Safe to call after a client-issued ``shutdown`` op already stopped
+        the loop -- the race between "still alive" and "loop closed" is
+        inherent, so a closed loop just means the work is done.
+        """
+        if self.thread.is_alive():
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    self.server.shutdown(), self.loop
+                ).result(timeout)
+            except RuntimeError:
+                pass  # loop already closed by an in-band shutdown op
+        self.thread.join(timeout)
+
+
+def start_in_thread(config: Optional[ServeConfig] = None,
+                    timeout: float = 30.0) -> ServeHandle:
+    """Start an :class:`AllocationServer` on a background event loop.
+
+    Blocks until the listener is bound (the handle carries the real port,
+    so ``port=0`` ephemeral binding is race-free for tests running many
+    servers concurrently).
+    """
+    config = config if config is not None else ServeConfig()
+    ready = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = AllocationServer(config)
+        try:
+            loop.run_until_complete(server.start())
+            box["server"], box["loop"], box["port"] = server, loop, server.port
+        except BaseException as exc:  # surface bind failures to the caller
+            box["error"] = exc
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_until_complete(server.wait_closed())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout):
+        raise TimeoutError("repro-serve failed to start within timeout")
+    if "error" in box:
+        raise box["error"]
+    return ServeHandle(box["server"], box["loop"], thread, box["port"])

@@ -1,0 +1,134 @@
+"""Property tests: the canonical ring fingerprint is a true isomorphism key.
+
+The serve-layer response cache is only sound if
+:func:`repro.graphs.canonical_form` is exactly invariant under the ring's
+symmetry group (rotations and reflections, i.e. every relabelling that
+preserves the cycle structure) and exactly *variant* under everything else
+-- two economies that are not isomorphic must never share a cache entry.
+Weights are compared at the bit level throughout: ``-0.0`` and ``0.0`` are
+different economies to this key, as are a subnormal and zero.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.graphs import (
+    canonical_form,
+    canonical_signature_bytes,
+    ring,
+    weight_bytes,
+)
+from repro.graphs.builders import random_connected_graph
+from repro.serve.solver import canonical_graph
+
+# The nasty float citizens are guaranteed draws, not one-in-2^64 events.
+float_pool = st.sampled_from(
+    [1.0, 2.0, 3.5, 0.1, 7.25, 0.0, -0.0, 5e-324, 1e-300, 1e16]
+)
+weights_st = st.lists(float_pool, min_size=3, max_size=8).map(
+    lambda ws: ws if sum(ws) > 0 else ws[:-1] + [1.0]
+)
+frac_weights_st = st.lists(
+    st.integers(min_value=0, max_value=30).map(lambda k: Fraction(k, 7)),
+    min_size=3,
+    max_size=6,
+).map(lambda ws: ws if sum(ws) > 0 else ws[:-1] + [Fraction(1)])
+
+
+def _relabel(ws, rot, reflect):
+    out = list(reversed(ws)) if reflect else list(ws)
+    return out[rot:] + out[:rot]
+
+
+def _all_relabelings(ws):
+    n = len(ws)
+    return [
+        tuple(weight_bytes((w,)) for w in _relabel(ws, r, refl))
+        for r in range(n)
+        for refl in (False, True)
+    ]
+
+
+@given(weights_st, st.integers(min_value=0, max_value=7), st.booleans())
+def test_invariant_under_rotation_and_reflection(ws, rot, reflect):
+    g1 = ring(ws)
+    g2 = ring(_relabel(ws, rot % len(ws), reflect))
+    assert canonical_signature_bytes(g1) == canonical_signature_bytes(g2)
+
+
+@given(frac_weights_st, st.integers(min_value=0, max_value=5), st.booleans())
+def test_invariant_exact_weights(ws, rot, reflect):
+    g1 = ring(ws)
+    g2 = ring(_relabel(ws, rot % len(ws), reflect))
+    assert canonical_signature_bytes(g1) == canonical_signature_bytes(g2)
+
+
+@given(weights_st)
+def test_order_is_permutation_witnessing_the_key(ws):
+    g = ring(ws)
+    key, order = canonical_form(g)
+    assert sorted(order) == list(range(g.n))
+    # The canonical representative built from the witness carries the same
+    # key and is a fixed point: canonicalizing it yields the identity.
+    cg = canonical_graph(g, order)
+    key2, order2 = canonical_form(cg)
+    assert key2 == key
+    assert order2 == tuple(range(g.n))
+    # And the witness really is the arrangement the key encodes.
+    assert [weight_bytes((w,)) for w in cg.weights] == [
+        weight_bytes((g.weights[v],)) for v in order
+    ]
+
+
+@given(weights_st, weights_st)
+def test_non_isomorphic_rings_never_collide(ws1, ws2):
+    if len(ws1) != len(ws2):
+        isomorphic = False
+    else:
+        target = tuple(weight_bytes((w,)) for w in ws2)
+        isomorphic = target in _all_relabelings(ws1)
+    same_key = canonical_signature_bytes(ring(ws1)) == canonical_signature_bytes(
+        ring(ws2)
+    )
+    assert same_key == isomorphic
+
+
+def test_bit_exactness_distinguishes_signed_zero_and_subnormal():
+    base = [1.0, 2.0, 3.0]
+    assert canonical_signature_bytes(ring([0.0] + base)) != canonical_signature_bytes(
+        ring([-0.0] + base)
+    )
+    assert canonical_signature_bytes(ring([5e-324] + base)) != canonical_signature_bytes(
+        ring([0.0] + base)
+    )
+    # Value-equal but type-distinct weights are distinct economies too.
+    assert canonical_signature_bytes(ring([2.0, 1.0, 1.0])) != canonical_signature_bytes(
+        ring([Fraction(2), 1.0, 1.0])
+    )
+
+
+@given(weights_st)
+def test_key_depends_on_weight_bits(ws):
+    """A one-ulp nudge of a single weight moves the fingerprint."""
+    import math
+
+    changed = list(ws)
+    changed[0] = math.nextafter(float(changed[0]), math.inf)
+    assert canonical_signature_bytes(ring(ws)) != canonical_signature_bytes(
+        ring(changed)
+    )
+
+
+def test_general_graph_fallback_keys_on_labelled_structure():
+    """Non-ring graphs fall back to the labelled CSR signature: stable for
+    the same graph, distinct for a different weighting."""
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+    g = random_connected_graph(6, 3, rng)
+    key, order = canonical_form(g)
+    assert order == tuple(range(g.n))
+    assert canonical_form(g)[0] == key
+    g2 = ring([1.0] * 6)
+    assert canonical_signature_bytes(g2) != key
