@@ -57,6 +57,13 @@ INT_COUNTER_FIELDS = (
     "serve_coalesced",
     "serve_cache_hits",
     "serve_cache_misses",
+    "serve_shed",
+    "serve_deadline_exceeded",
+    "serve_read_pauses",
+    "breaker_trips",
+    "breaker_probes",
+    "breaker_fastfails",
+    "cell_deadline_expired",
 )
 
 
@@ -127,6 +134,20 @@ class Counters:
     serve_coalesced: int = 0
     serve_cache_hits: int = 0
     serve_cache_misses: int = 0
+    #: Overload-resilience family (see repro.serve.resilience): requests
+    #: shed by admission control (typed ``overloaded`` envelope, no work
+    #: performed), requests answered with ``deadline_exceeded``, times the
+    #: connection read gate paused intake at the high watermark, circuit
+    #: breaker trips into a degraded mode, half-open probe dispatches,
+    #: cache-only fast-fails while a breaker brownout holds, and supervised
+    #: cells abandoned because their propagated deadline budget expired.
+    serve_shed: int = 0
+    serve_deadline_exceeded: int = 0
+    serve_read_pauses: int = 0
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    breaker_fastfails: int = 0
+    cell_deadline_expired: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Open ``timed`` depth per phase label.  Bookkeeping only -- excluded
     #: from snapshots, merges, and resets -- so that re-entering an

@@ -32,6 +32,12 @@ __all__ = [
     "RemoteCellError",
     "CellFailedError",
     "CheckpointError",
+    "ServeError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "ShutdownTimeoutError",
+    "ServeRequestError",
     "is_retryable",
     "is_escalatable",
 ]
@@ -240,6 +246,75 @@ class CellFailedError(RuntimeSupervisionError):
 
 class CheckpointError(RuntimeSupervisionError):
     """A checkpoint journal is unreadable or belongs to a different sweep."""
+
+
+# ---------------------------------------------------------------------------
+# serving overload semantics (see repro.serve.resilience)
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for the serving layer's overload/lifecycle failures."""
+
+
+class OverloadedError(ServeError):
+    """A request was shed by admission control: the intake queue is full.
+
+    Carries ``retry_after_ms``, the server's estimate of when capacity
+    frees up (derived from the flush-duration EWMA and the backlog depth).
+    Shedding is a *typed response on a live connection* -- never a dropped
+    socket -- and the request performed no work, so a client retry after
+    the hint is safe and idempotent by the canonical-fingerprint contract.
+    Deliberately **not** supervisor-retryable: the retry decision belongs
+    to the client (which knows its deadline), not the worker ladder.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class DeadlineExceededError(ServeError):
+    """A request's ``deadline_ms`` budget expired before a result landed.
+
+    Raised server-side when the propagated deadline runs out anywhere in
+    the ladder (queue wait, batch linger, supervised solve incl. retries)
+    and client-side by :class:`repro.serve.client.ResilientClient` when
+    the overall budget is exhausted across retries.  Not retryable: by
+    construction there is no time left to retry in.
+    """
+
+
+class CircuitOpenError(ServeError):
+    """A shard's circuit breaker is in cache-only brownout; the miss was
+    fast-failed without solving.  ``retry_after_ms`` reports the remaining
+    cooldown of the breaker's current open window."""
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class ShutdownTimeoutError(ServeError):
+    """A graceful server stop did not complete within its timeout.
+
+    Raised by :meth:`repro.serve.ServeHandle.stop` when the server thread
+    fails to join -- a hung shutdown used to return silently and leak the
+    thread; now the caller (tests, CI, the CLI) sees it loudly.
+    """
+
+
+class ServeRequestError(ServeError):
+    """A typed error envelope received by a serve *client*, rehydrated.
+
+    The wire carries ``error.type``/``error.message`` rather than pickled
+    exceptions (mirroring :class:`RemoteCellError` at the worker boundary);
+    the resilient client raises this for terminal non-retryable envelopes
+    so callers can dispatch on ``type_name``.
+    """
+
+    def __init__(self, type_name: str, message: str) -> None:
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
 
 
 #: Exception types a supervised retry can plausibly fix: injected faults

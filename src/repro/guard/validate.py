@@ -246,13 +246,19 @@ SERVE_OPS = ("solve", "ping", "stats", "drain", "shutdown")
 #: get copied into every response.
 _MAX_REQUEST_ID_LEN = 256
 
+#: Ceiling on a request's ``deadline_ms`` budget (24 h): a deadline is a
+#: *bound* on how long the client will wait, so absurd values signal a
+#: confused client (seconds vs milliseconds, say) rather than intent.
+_MAX_DEADLINE_MS = 24 * 3600 * 1000
+
 
 def validate_request_dict(d: Any) -> dict:
     """Shape-validate one ``repro-serve`` request envelope; returns ``d``.
 
     Checks the *envelope* only: the payload is a dict, ``op`` names a known
-    operation, and ``id`` (if present) is a bounded string/int correlation
-    token.  A ``solve`` request must carry a ``graph`` field, but the graph
+    operation, ``id`` (if present) is a bounded string/int correlation
+    token, and ``deadline_ms`` (if present) is a finite positive budget in
+    milliseconds.  A ``solve`` request must carry a ``graph`` field, but the graph
     payload itself is validated by :func:`validate_graph_dict` at
     construction time -- same two-stage discipline as every other boundary.
     """
@@ -276,6 +282,20 @@ def validate_request_dict(d: Any) -> dict:
         )
     if op == "solve" and "graph" not in d:
         raise MalformedInputError("solve request is missing field 'graph'")
+    deadline_ms = d.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise _reject("request deadline_ms is not a number", deadline_ms)
+        if not math.isfinite(deadline_ms) or deadline_ms <= 0:
+            raise MalformedInputError(
+                f"request deadline_ms must be a finite positive number of "
+                f"milliseconds, got {deadline_ms!r}"
+            )
+        if deadline_ms > _MAX_DEADLINE_MS:
+            raise MalformedInputError(
+                f"request deadline_ms {deadline_ms:g} exceeds the "
+                f"{_MAX_DEADLINE_MS} ms ceiling"
+            )
     return d
 
 

@@ -47,6 +47,7 @@ from typing import Callable, Optional, Sequence, TypeVar
 from ..engine import Counters
 from ..exceptions import (
     CellFailedError,
+    DeadlineExceededError,
     RemoteCellError,
     WorkerCrashError,
     WorkerTimeoutError,
@@ -92,6 +93,7 @@ def run_cell(
     counters: Counters,
     escalate_fn: Optional[Callable[[T], R]] = None,
     injector=None,
+    deadline: Optional[float] = None,
 ) -> R:
     """Run one cell under the retry/escalation state machine, in-process.
 
@@ -100,9 +102,21 @@ def run_cell(
     failures with backoff, escalate deterministic numeric failures to
     ``escalate_fn`` once retries are exhausted, and wrap permanent
     failures in :class:`~repro.exceptions.CellFailedError`.
+
+    ``deadline`` is an absolute ``time.monotonic()`` point past which the
+    retry ladder must not continue: an attempt is not *started* (and a
+    backoff is not slept) once the deadline has passed -- the cell raises
+    :class:`~repro.exceptions.DeadlineExceededError` instead.  A running
+    attempt cannot be preempted in-process (that is what worker kills are
+    for), so the serial path enforces the budget at the attempt
+    boundaries, not mid-solve.
     """
     attempt = 0
     while True:
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"cell {index} deadline budget exhausted before attempt "
+                f"{attempt}")
         try:
             if injector is not None:
                 injector.fire("worker", index=index, attempt=attempt)
@@ -130,6 +144,11 @@ def run_cell(
             attempt += 1
             counters.cell_retries += 1
             backoff = policy.backoff(attempt)
+            if (deadline is not None
+                    and time.monotonic() + backoff >= deadline):
+                raise DeadlineExceededError(
+                    f"cell {index} deadline budget exhausted during retry "
+                    f"backoff (attempt {attempt})") from exc
             if backoff > 0:
                 time.sleep(backoff)
 
@@ -225,6 +244,8 @@ class _Supervisor:
         journal: Optional[CheckpointJournal],
         key_fn,
         tracer=None,
+        deadlines: Optional[list] = None,
+        on_deadline=None,
     ) -> None:
         self.fn = fn
         self.items = list(items)
@@ -234,6 +255,11 @@ class _Supervisor:
         self.journal = journal
         self.key_fn = key_fn
         self.tracer = tracer
+        #: Absolute time.monotonic() deadline per submission index (None =
+        #: unbounded), and the hook that synthesizes an expired cell's
+        #: result value.  See supervised_map(budgets=..., on_deadline=...).
+        self.deadlines = deadlines
+        self.on_deadline = on_deadline
         self.results: dict[int, object] = {}
         self.pending: deque[tuple[float, int, int]] = deque()  # (ready_at, idx, attempt)
         self.inflight: dict[int, tuple[int, int, float]] = {}  # wid -> (idx, attempt, deadline)
@@ -299,7 +325,32 @@ class _Supervisor:
         if self.journal is not None:
             self.journal.record(self.key_fn(idx), value)
 
+    def _cell_deadline(self, idx: int) -> Optional[float]:
+        if self.deadlines is None:
+            return None
+        return self.deadlines[idx]
+
+    def _expire(self, idx: int) -> None:
+        """The cell's deadline budget ran out: settle it without solving.
+
+        With an ``on_deadline`` hook the cell *completes* with the hook's
+        synthesized value (the serving layer's typed error marker), so one
+        expired request never fails its batch; without a hook the whole
+        map raises -- a caller that passed budgets but no hook wants the
+        loud failure.
+        """
+        self.counters.cell_deadline_expired += 1
+        if self.on_deadline is not None:
+            self._complete(idx, self.on_deadline(self.items[idx]))
+            return
+        raise DeadlineExceededError(
+            f"cell {idx} deadline budget exhausted in supervised map")
+
     def _handle_failure(self, idx: int, attempt: int, exc: Exception) -> None:
+        cd = self._cell_deadline(idx)
+        if cd is not None and time.monotonic() >= cd:
+            self._expire(idx)
+            return
         if not is_retryable(exc):
             raise exc
         if attempt >= self.policy.retries:
@@ -311,6 +362,11 @@ class _Supervisor:
             raise CellFailedError(idx, exc) from exc
         self.counters.cell_retries += 1
         ready_at = time.monotonic() + self.policy.backoff(attempt + 1)
+        if cd is not None and ready_at >= cd:
+            # The backoff alone would outlive the budget; expire now
+            # rather than queueing a retry that can never start.
+            self._expire(idx)
+            return
         self.pending.append((ready_at, idx, attempt + 1))
 
     def _requeue_infra_failure(self, wid: int, exc: Exception) -> None:
@@ -338,10 +394,15 @@ class _Supervisor:
         )
         injector = current_injector()
         for idx in outstanding:
-            value = run_cell(
-                self.fn, self.items[idx], idx, self.policy, self.counters,
-                escalate_fn=self.escalate_fn, injector=injector,
-            )
+            try:
+                value = run_cell(
+                    self.fn, self.items[idx], idx, self.policy, self.counters,
+                    escalate_fn=self.escalate_fn, injector=injector,
+                    deadline=self._cell_deadline(idx),
+                )
+            except DeadlineExceededError:
+                self._expire(idx)
+                continue
             self._complete(idx, value)
         self.pending.clear()
         self.inflight.clear()
@@ -388,6 +449,16 @@ class _Supervisor:
             return
         now = time.monotonic()
         for wid, (proc, task_q, _) in list(self.workers.items()):
+            # Settle any head-of-queue cells whose budget already ran out:
+            # assigning them would only burn a worker on unwanted work.
+            while self.pending:
+                _, head_idx, _ = self.pending[0]
+                head_cd = self._cell_deadline(head_idx)
+                if head_cd is not None and now >= head_cd:
+                    self.pending.popleft()
+                    self._expire(head_idx)
+                else:
+                    break
             if wid in self.inflight or not self.pending:
                 continue
             ready_at, idx, attempt = self.pending[0]
@@ -396,6 +467,9 @@ class _Supervisor:
             self.pending.popleft()
             deadline = (now + self.policy.timeout
                         if self.policy.timeout is not None else float("inf"))
+            cd = self._cell_deadline(idx)
+            if cd is not None:
+                deadline = min(deadline, cd)
             try:
                 task_q.put((idx, attempt, self.items[idx]))
             except Exception:
@@ -465,6 +539,20 @@ class _Supervisor:
                     f"worker died while computing cell {idx} "
                     f"(exit code {proc.exitcode})"))
             elif now > deadline:
+                cd = self._cell_deadline(idx)
+                if cd is not None and now >= cd:
+                    # The *request's* deadline budget (not the policy
+                    # timeout) is what ran out: kill the worker to stop
+                    # unwanted work, settle the cell as expired, and do
+                    # not count the death against pool health -- the
+                    # shard did nothing wrong.
+                    self._kill_worker(wid)
+                    self._expire(idx)
+                    if (len(self.workers) < self.processes
+                            and (self.pending or self.inflight)):
+                        if self._spawn_worker() is not None:
+                            self.counters.worker_respawns += 1
+                    continue
                 self.counters.cell_timeouts += 1
                 self._requeue_infra_failure(wid, WorkerTimeoutError(
                     f"cell {idx} exceeded its {self.policy.timeout:g}s budget; "
@@ -481,6 +569,8 @@ def supervised_map(
     journal: Optional[CheckpointJournal] = None,
     key_fn: Optional[Callable[[int], str]] = None,
     tracer=None,
+    budgets: Optional[Sequence[Optional[float]]] = None,
+    on_deadline: Optional[Callable[[T], R]] = None,
 ) -> list[R]:
     """Fault-tolerant, order-preserving map over ``items``.
 
@@ -490,6 +580,20 @@ def supervised_map(
     picklable for the parallel path; ``escalate_fn`` runs in the
     supervisor process.  ``key_fn`` maps a submission index to a stable
     journal key (defaults to ``str(index)``).
+
+    ``budgets`` propagates per-cell *deadline budgets* (seconds of wall
+    clock remaining, measured from map entry; ``None`` entries are
+    unbounded).  A cell's effective kill deadline is the tighter of the
+    static ``policy.timeout`` and its remaining budget, and the budget
+    bounds the whole recovery ladder -- retries are not started (and
+    backoffs not slept) past it.  An expired cell completes with
+    ``on_deadline(item)`` when the hook is given (the serving layer's
+    typed ``deadline_exceeded`` marker -- one late request never fails
+    its batch), else the map raises
+    :class:`~repro.exceptions.DeadlineExceededError`.  Expirations count
+    under ``counters.cell_deadline_expired`` and deliberately do *not*
+    count as pool failures: a client-imposed deadline says nothing about
+    shard health.
 
     Work accounting: cells that rebuild engine contexts from a spec (in
     workers *or* in this process -- the serial path, degradation, and
@@ -505,6 +609,14 @@ def supervised_map(
     counters = counters if counters is not None else Counters()
     key_fn = key_fn if key_fn is not None else str
     items = list(items)
+    deadlines: Optional[list] = None
+    if budgets is not None:
+        budgets = list(budgets)
+        if len(budgets) != len(items):
+            raise ValueError(
+                f"budgets length {len(budgets)} != items length {len(items)}")
+        t0 = time.monotonic()
+        deadlines = [t0 + b if b is not None else None for b in budgets]
 
     # Session bracket, not a bare mark-sync: when maps overlap (the serving
     # layer dispatches one per shard concurrently), only the first may
@@ -535,15 +647,26 @@ def supervised_map(
                         counters.checkpoint_hits += 1
                         out.append(journal.get(key))
                         continue
-                value = run_cell(fn, item, idx, policy, counters,
-                                 escalate_fn=escalate_fn, injector=injector)
+                try:
+                    value = run_cell(fn, item, idx, policy, counters,
+                                     escalate_fn=escalate_fn,
+                                     injector=injector,
+                                     deadline=(deadlines[idx]
+                                               if deadlines else None))
+                except DeadlineExceededError:
+                    counters.cell_deadline_expired += 1
+                    if on_deadline is None:
+                        raise
+                    out.append(on_deadline(item))
+                    continue
                 if journal is not None:
                     journal.record(key_fn(idx), value)
                 out.append(value)
             return out
 
         sup = _Supervisor(fn, items, processes, policy, counters,
-                          escalate_fn, journal, key_fn, tracer=tracer)
+                          escalate_fn, journal, key_fn, tracer=tracer,
+                          deadlines=deadlines, on_deadline=on_deadline)
         return sup.run()
     finally:
         try:

@@ -23,39 +23,71 @@ layer on top of the existing substrate:
   retries, resource envelopes, fault injection all apply per request),
   shard-by-instance across worker processes, and ``repro.obs`` spans +
   counters end-to-end;
+* :mod:`repro.serve.resilience` -- the overload semantics: bounded-intake
+  admission control with typed load shedding, per-request deadline
+  bookkeeping, and per-shard circuit breakers with a degraded-mode ladder
+  (serial -> exact -> cache-only) and half-open probes;
+* :mod:`repro.serve.client` -- the shipped clients: a plain blocking
+  JSONL :class:`~repro.serve.client.Client` and the retry-safe
+  :class:`~repro.serve.client.ResilientClient` (deadline-aware
+  capped-exponential backoff with seeded jitter, ``retry_after_ms``
+  honoring, transparent reconnect -- all safe because requests are
+  idempotent under the canonical fingerprint);
 * :mod:`repro.serve.load` -- the seeded heavy-tailed load generator and
-  soak harness behind ``repro-serve soak``, recording p50/p99 latency and
-  throughput in the ``repro-bench`` schema (``BENCH_serve.json``).
+  soak harness behind ``repro-serve soak`` (pipelined connections, so
+  bursts genuinely exceed batcher capacity), the chaos-scheduled overload
+  soak behind ``repro-serve overload``, recording shed rate, goodput and
+  p50/p99 latency in the ``repro-bench`` schema (``BENCH_serve.json``,
+  ``BENCH_overload.json``).
 """
 
 from .cache import ResponseCache
+from .client import Client, ResilientClient
 from .protocol import (
     PROTOCOL_VERSION,
+    deadline_exceeded_response,
     decode_request_line,
     encode_response,
     error_response,
     ok_response,
+    overloaded_response,
+)
+from .resilience import (
+    AdmissionController,
+    BreakerConfig,
+    Deadline,
+    ShardBreaker,
 )
 from .server import AllocationServer, ServeConfig, ServeHandle, start_in_thread
 from .solver import (
     canonical_request,
+    deadline_marker,
     map_result,
     single_shot_response,
     solve_cell,
 )
 
 __all__ = [
+    "AdmissionController",
     "AllocationServer",
+    "BreakerConfig",
+    "Client",
+    "Deadline",
     "PROTOCOL_VERSION",
+    "ResilientClient",
     "ResponseCache",
     "ServeConfig",
     "ServeHandle",
+    "ShardBreaker",
     "canonical_request",
+    "deadline_exceeded_response",
+    "deadline_marker",
     "decode_request_line",
     "encode_response",
     "error_response",
     "map_result",
     "ok_response",
+    "overloaded_response",
     "single_shot_response",
     "solve_cell",
     "start_in_thread",

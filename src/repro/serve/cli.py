@@ -1,12 +1,16 @@
 """``repro-serve``: run, load-test, and soak the allocation daemon.
 
-Three subcommands::
+Four subcommands::
 
     repro-serve serve [--port P] [--shards N] [--batch-max K] [--linger MS]
                       [--cache-size N] [--timeout S] [--retries N]
-                      [--inject-faults SPEC]
+                      [--inject-faults SPEC] [--queue-cap N]
+                      [--deadline-ms MS] [--breaker-threshold N]
+                      [--breaker-cooldown S]
         Run the daemon in the foreground until a client sends ``shutdown``
-        (or SIGINT).  ``--port 0`` binds an ephemeral port and prints it.
+        or the process receives SIGTERM/SIGINT -- the first signal starts
+        a graceful drain-and-stop, a second one hard-exits.  ``--port 0``
+        binds an ephemeral port and prints it.
 
     repro-serve load --port P [--requests N] [--clients N] [--seed S] ...
         Drive the seeded heavy-tailed mix against an already-running
@@ -17,18 +21,37 @@ Three subcommands::
         differential-audit leg), and write a ``repro-bench/1`` report.
         Exits non-zero if any response was dropped, corrupted, or differed
         from its fresh single-shot solve -- the CI gate.
+
+    repro-serve overload [--out BENCH_overload.json] [--seed S]
+                         [--burst-clients N] [--burst-requests N] ...
+        The resilience soak: a fault-free sub-capacity warm leg (must
+        shed nothing, audits bit-identical), then a chaos-scheduled burst
+        sized past admission capacity.  Writes ``BENCH_overload.json``
+        and exits non-zero on any overload-contract violation (server
+        died, queue exceeded its cap, a request without exactly one typed
+        terminal outcome, a shed below capacity).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
+import threading
 from typing import Optional
 
 from ..obs.bench import save_report
 from ..runtime import RuntimePolicy
-from .load import SOAK_BENCH_NAME, LoadConfig, run_load, run_soak
+from .load import (
+    OVERLOAD_BENCH_NAME,
+    SOAK_BENCH_NAME,
+    LoadConfig,
+    OverloadConfig,
+    run_load,
+    run_overload,
+    run_soak,
+)
 from .server import ServeConfig, start_in_thread
 
 __all__ = ["main"]
@@ -51,6 +74,18 @@ def _add_server_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--retries", type=int, default=2)
     p.add_argument("--inject-faults", default=None, metavar="SPEC",
                    help="deterministic fault spec, e.g. worker:kill@0")
+    p.add_argument("--queue-cap", type=int, default=256,
+                   help="admission control: max queued cells before "
+                        "requests shed with a typed overloaded envelope")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline budget applied when "
+                        "a request carries none (unset = unbounded)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive bad shard dispatches before the "
+                        "circuit breaker trips into degraded mode")
+    p.add_argument("--breaker-cooldown", type=float, default=1.0,
+                   metavar="S", help="base open-window cooldown in seconds "
+                   "(doubles per trip, capped at 30s)")
 
 
 def _add_load_flags(p: argparse.ArgumentParser) -> None:
@@ -61,6 +96,8 @@ def _add_load_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--zipf-s", type=float, default=1.3)
     p.add_argument("--malformed-rate", type=float, default=0.02)
     p.add_argument("--audit-rate", type=float, default=0.1)
+    p.add_argument("--pipeline", type=int, default=1,
+                   help="per-connection in-flight depth (1 = closed loop)")
 
 
 def _serve_config(args: argparse.Namespace) -> ServeConfig:
@@ -69,7 +106,10 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         host=args.host, port=args.port, shards=args.shards,
         batch_max=args.batch_max, linger_ms=args.linger,
         cache_size=args.cache_size, policy=policy,
-        faults=args.inject_faults,
+        faults=args.inject_faults, queue_cap=args.queue_cap,
+        default_deadline_ms=args.deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
 
 
@@ -78,6 +118,7 @@ def _load_config(args: argparse.Namespace) -> LoadConfig:
         requests=args.requests, clients=args.clients, seed=args.seed,
         pool=args.pool, zipf_s=args.zipf_s,
         malformed_rate=args.malformed_rate, audit_rate=args.audit_rate,
+        pipeline=args.pipeline,
     )
 
 
@@ -102,6 +143,25 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_load_flags(soak)
     soak.add_argument("--out", default="BENCH_serve.json")
     soak.add_argument("--tag", default="serve")
+
+    overload = sub.add_parser(
+        "overload",
+        help="warm + chaos-burst resilience soak + repro-bench report")
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument("--warm-requests", type=int, default=32)
+    overload.add_argument("--warm-clients", type=int, default=2)
+    overload.add_argument("--burst-requests", type=int, default=192)
+    overload.add_argument("--burst-clients", type=int, default=48)
+    overload.add_argument("--pipeline", type=int, default=4)
+    overload.add_argument("--queue-cap", type=int, default=16)
+    overload.add_argument("--shards", type=int, default=2)
+    overload.add_argument("--batch-max", type=int, default=8)
+    overload.add_argument("--deadline-ms", type=float, default=1500.0)
+    overload.add_argument("--deadline-rate", type=float, default=0.25)
+    overload.add_argument("--no-chaos", action="store_true",
+                          help="skip the fault plan (pure overload burst)")
+    overload.add_argument("--out", default="BENCH_overload.json")
+    overload.add_argument("--tag", default="overload")
     return parser
 
 
@@ -116,23 +176,95 @@ def _print_stats(stats: dict) -> None:
         print(f"PROBLEM: {problem}", file=sys.stderr)
 
 
+def _run_serve_foreground(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: foreground daemon with signal handling.
+
+    The first SIGTERM/SIGINT starts a graceful shutdown (drain in-flight
+    work, close the listener, join the server thread); a second signal
+    while that drain is still running hard-exits with the conventional
+    128+signum status -- an operator hammering Ctrl-C must always win
+    over a wedged drain.
+    """
+    signals_seen = {"count": 0}
+    stop_requested = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        signals_seen["count"] += 1
+        if signals_seen["count"] >= 2:
+            print(f"repro-serve: second signal ({signum}), hard exit",
+                  file=sys.stderr, flush=True)
+            # os._exit semantics via raise_default: restore and re-raise so
+            # the exit status carries the signal.
+            signal.signal(signum, signal.SIG_DFL)
+            signal.raise_signal(signum)
+            return
+        print(f"repro-serve: signal {signum}, draining for graceful stop "
+              "(send again to hard-exit)", file=sys.stderr, flush=True)
+        stop_requested.set()
+
+    # Handlers go in *before* the listener binds and the banner prints:
+    # process managers signal on their own clock, and a SIGTERM landing in
+    # the gap between "listening" and installation used to hit the default
+    # disposition -- killing the process with work on the wire.
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    try:
+        handle = start_in_thread(_serve_config(args))
+        print(f"repro-serve listening on {args.host}:{handle.port} "
+              f"(shards={args.shards}, cache={args.cache_size}, "
+              f"queue_cap={args.queue_cap})", flush=True)
+        # Wake on either: the server thread exiting (client-issued
+        # shutdown op) or a signal requesting one.
+        while handle.thread.is_alive() and not stop_requested.is_set():
+            stop_requested.wait(0.2)
+        if stop_requested.is_set():
+            handle.stop()
+        else:
+            handle.thread.join()
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+    print("repro-serve: stopped", flush=True)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "serve":
-        handle = start_in_thread(_serve_config(args))
-        print(f"repro-serve listening on {args.host}:{handle.port} "
-              f"(shards={args.shards}, cache={args.cache_size})", flush=True)
-        try:
-            handle.thread.join()
-        except KeyboardInterrupt:
-            handle.stop()
-        return 0
+        return _run_serve_foreground(args)
 
     if args.command == "load":
         stats = asyncio.run(run_load(args.host, args.port, _load_config(args)))
         _print_stats(stats)
         return 1 if stats["problems"] else 0
+
+    if args.command == "overload":
+        serve_config = ServeConfig(
+            shards=args.shards, batch_max=args.batch_max, linger_ms=1.0,
+            cache_size=0, queue_cap=args.queue_cap,
+            policy=RuntimePolicy(retries=2, timeout=60.0))
+        overload_config = OverloadConfig(
+            warm_requests=args.warm_requests, warm_clients=args.warm_clients,
+            burst_requests=args.burst_requests,
+            burst_clients=args.burst_clients, pipeline=args.pipeline,
+            seed=args.seed, deadline_ms=args.deadline_ms,
+            deadline_rate=args.deadline_rate, chaos=not args.no_chaos)
+        report = run_overload(serve_config, overload_config, tag=args.tag)
+        problems = report.pop("_problems")
+        bench = report["benchmarks"][OVERLOAD_BENCH_NAME]
+        save_report(report, args.out)
+        lat = bench["latency_ms"]
+        print(f"wrote {args.out}: {bench['requests']} requests "
+              f"(warm {bench['warm_outcomes']['ok']} ok / "
+              f"burst {bench['outcomes']}), "
+              f"shed rate {bench['shed_rate']:.2f}, "
+              f"goodput {bench['goodput_rps']:.1f} ok/s, "
+              f"p50 {lat['p50']:.2f}ms  p99 {lat['p99']:.2f}ms, "
+              f"problems {len(problems)}")
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1 if problems else 0
 
     # soak
     report = run_soak(_serve_config(args), _load_config(args), tag=args.tag)

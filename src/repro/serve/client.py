@@ -1,0 +1,246 @@
+"""First-class clients for the ``repro-serve`` wire protocol.
+
+Two layers, matching the two kinds of callers:
+
+* :class:`Client` -- one blocking JSONL connection, no policy.  ``rpc``
+  sends a dict and returns the response dict verbatim, typed error
+  envelopes included.  This is what the protocol-level tests use: every
+  envelope the server emits is observable.
+* :class:`ResilientClient` -- the production-shaped wrapper the overload
+  work makes possible.  Solve requests are **idempotent by construction**
+  (the server keys on the canonical ring fingerprint, so a retried request
+  coalesces with or cache-hits its previous self), which means the client
+  may retry *any* failed attempt safely: ``overloaded`` and
+  ``circuit-open`` envelopes (honoring the server's ``retry_after_ms``
+  hint), and dropped/reset connections (transparent reconnect).  Retries
+  back off capped-exponentially with full jitter from a **seeded** RNG --
+  the chaos soak replays bit-identically -- and the whole retry loop runs
+  under one optional client-side ``deadline_ms`` budget: each attempt
+  sends the *remaining* budget as its per-request deadline, and when the
+  budget cannot cover another attempt the client raises
+  :class:`~repro.exceptions.DeadlineExceededError` instead of sleeping
+  past it.
+
+Terminal outcomes of :meth:`ResilientClient.solve` are exactly one of:
+the result dict, :class:`~repro.exceptions.OverloadedError` /
+:class:`~repro.exceptions.CircuitOpenError` (retries exhausted),
+:class:`~repro.exceptions.DeadlineExceededError` (budget gone, or the
+server said so), or :class:`~repro.exceptions.ServeRequestError` (a
+non-retryable typed envelope -- the request itself is at fault).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from contextlib import contextmanager
+from typing import Any, Optional
+
+from ..exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServeRequestError,
+)
+
+__all__ = ["Client", "ResilientClient", "client_for", "serving"]
+
+#: Envelope ``error.type`` names the resilient client treats as retryable
+#: shed signals (the server did no work; the hint says when to return).
+_RETRYABLE_TYPES = frozenset({"OverloadedError", "CircuitOpenError"})
+
+
+class Client:
+    """One blocking JSONL connection; ``rpc`` sends a dict, returns a dict."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: float = 60.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.file = self.sock.makefile("rb")
+
+    def send_raw(self, payload: bytes) -> dict:
+        self.sock.sendall(payload)
+        line = self.file.readline()
+        if not line:
+            raise ConnectionResetError("server dropped the connection")
+        return json.loads(line)
+
+    def rpc(self, obj: dict) -> dict:
+        return self.send_raw(json.dumps(obj).encode("utf-8") + b"\n")
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ResilientClient:
+    """Deadline-aware, retry-safe wrapper over one reconnecting connection.
+
+    Not thread-safe (one socket, one in-flight request); share nothing or
+    give each thread its own instance.  ``seed`` fixes the jitter RNG --
+    the soak harness runs deterministic schedules through it.
+    """
+
+    def __init__(self, port: int, host: str = "127.0.0.1", *,
+                 max_attempts: int = 6,
+                 backoff_base_ms: float = 50.0,
+                 backoff_cap_ms: float = 5000.0,
+                 socket_timeout: float = 60.0,
+                 seed: Optional[int] = None) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.port = port
+        self.host = host
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_ms = float(backoff_base_ms)
+        self.backoff_cap_ms = float(backoff_cap_ms)
+        self.socket_timeout = float(socket_timeout)
+        self._rng = random.Random(seed)
+        self._client: Optional[Client] = None
+        #: Observability for tests and the soak harness.
+        self.retries = 0
+        self.reconnects = 0
+        self.sheds_seen = 0
+
+    # -- connection management --------------------------------------------
+
+    def _conn(self) -> Client:
+        if self._client is None:
+            self._client = Client(self.port, self.host,
+                                  timeout=self.socket_timeout)
+        return self._client
+
+    def _drop_conn(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def close(self) -> None:
+        self._drop_conn()
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plain ops (no retry policy; used by harnesses and tests) ---------
+
+    def rpc(self, obj: dict) -> dict:
+        """One attempt, reconnecting once if the cached connection died."""
+        try:
+            return self._conn().rpc(obj)
+        except (ConnectionError, OSError):
+            self._drop_conn()
+            self.reconnects += 1
+            return self._conn().rpc(obj)
+
+    def ping(self) -> dict:
+        return self.rpc({"op": "ping"})
+
+    def stats(self) -> dict:
+        resp = self.rpc({"op": "stats"})
+        return resp.get("result", resp)
+
+    # -- the resilient solve ----------------------------------------------
+
+    def solve(self, graph_dict: dict, *, deadline_ms: Optional[float] = None,
+              req_id: Any = None) -> dict:
+        """Solve to completion under the retry policy; returns the result.
+
+        ``deadline_ms`` is the *overall* client budget across every
+        attempt and backoff sleep; each attempt carries the remaining
+        budget on the wire so the server stops working the moment the
+        client stops caring.
+        """
+        deadline_at = (time.monotonic() + deadline_ms / 1000.0
+                       if deadline_ms is not None else None)
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.max_attempts):
+            req: dict = {"op": "solve", "graph": graph_dict}
+            if req_id is not None:
+                req["id"] = req_id
+            if deadline_at is not None:
+                remaining_ms = (deadline_at - time.monotonic()) * 1000.0
+                if remaining_ms <= 0:
+                    raise DeadlineExceededError(
+                        "client deadline_ms budget exhausted before "
+                        f"attempt {attempt + 1}")
+                req["deadline_ms"] = remaining_ms
+            try:
+                resp = self._conn().rpc(req)
+            except (ConnectionError, OSError) as exc:
+                # Transport drop: idempotency makes the blind retry safe --
+                # if the lost attempt actually solved, the retry cache-hits.
+                self._drop_conn()
+                self.reconnects += 1
+                last_exc = exc
+                self._sleep_backoff(attempt, None, deadline_at)
+                self.retries += 1
+                continue
+            if resp.get("status") == "ok":
+                return resp["result"]
+            error = resp.get("error", {})
+            type_name = error.get("type", "UnknownError")
+            message = error.get("message", "")
+            if type_name == "DeadlineExceededError":
+                raise DeadlineExceededError(message)
+            if type_name not in _RETRYABLE_TYPES:
+                raise ServeRequestError(type_name, message)
+            # A shed: typed, no work done, hint attached.
+            self.sheds_seen += 1
+            hint = error.get("retry_after_ms")
+            cls = (OverloadedError if type_name == "OverloadedError"
+                   else CircuitOpenError)
+            last_exc = cls(message, retry_after_ms=float(hint or 0.0))
+            self._sleep_backoff(attempt, hint, deadline_at)
+            self.retries += 1
+        assert last_exc is not None
+        raise last_exc
+
+    def _sleep_backoff(self, attempt: int, hint_ms: Optional[float],
+                       deadline_at: Optional[float]) -> None:
+        """Sleep before the next attempt, or raise if the budget can't pay.
+
+        Capped exponential with full jitter; a server-provided
+        ``retry_after_ms`` hint becomes the floor of the window (the server
+        knows its backlog better than our exponent does).
+        """
+        cap = min(self.backoff_cap_ms,
+                  self.backoff_base_ms * (2.0 ** attempt))
+        delay_ms = self._rng.uniform(0.0, cap)
+        if hint_ms is not None:
+            delay_ms = max(delay_ms, float(hint_ms))
+        if deadline_at is not None:
+            remaining_ms = (deadline_at - time.monotonic()) * 1000.0
+            if delay_ms >= remaining_ms:
+                raise DeadlineExceededError(
+                    "client deadline_ms budget cannot cover the "
+                    f"{delay_ms:.0f} ms backoff before the next attempt")
+        time.sleep(delay_ms / 1000.0)
+
+
+@contextmanager
+def serving(**kwargs):
+    """A running server; yields the :class:`repro.serve.ServeHandle`."""
+    from .server import ServeConfig, start_in_thread
+
+    handle = start_in_thread(ServeConfig(**kwargs))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@contextmanager
+def client_for(handle):
+    c = Client(handle.port)
+    try:
+        yield c
+    finally:
+        c.close()

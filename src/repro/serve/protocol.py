@@ -7,7 +7,8 @@ is detectable (no closing newline) rather than silently half-parsed.
 
 Requests::
 
-    {"op": "solve", "id": 7, "graph": {...graph_to_dict payload...}}
+    {"op": "solve", "id": 7, "graph": {...graph_to_dict payload...},
+     "deadline_ms": 500.0}                      # optional per-request budget
     {"op": "ping" | "stats" | "drain" | "shutdown", "id": ...}
 
 Responses::
@@ -34,10 +35,12 @@ from ..guard import validate_request_dict
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "deadline_exceeded_response",
     "decode_request_line",
     "encode_response",
     "error_response",
     "ok_response",
+    "overloaded_response",
 ]
 
 #: Bumped on breaking wire-format changes; reported by ``ping``/``stats``.
@@ -70,12 +73,40 @@ def ok_response(req_id: Optional[Any], result: dict) -> dict:
 
 
 def error_response(req_id: Optional[Any], exc: BaseException) -> dict:
-    """Typed error envelope from any exception of the library taxonomy."""
-    return {
-        "id": req_id,
-        "status": "error",
-        "error": {"type": type(exc).__name__, "message": str(exc)},
-    }
+    """Typed error envelope from any exception of the library taxonomy.
+
+    Exceptions carrying a ``retry_after_ms`` attribute (the overload
+    family: :class:`~repro.exceptions.OverloadedError`,
+    :class:`~repro.exceptions.CircuitOpenError`) surface it in the
+    envelope so clients can honor the hint without parsing messages.
+    """
+    error: dict = {"type": type(exc).__name__, "message": str(exc)}
+    retry_after = getattr(exc, "retry_after_ms", None)
+    if retry_after is not None:
+        error["retry_after_ms"] = round(float(retry_after), 3)
+    return {"id": req_id, "status": "error", "error": error}
+
+
+def overloaded_response(req_id: Optional[Any], retry_after_ms: float) -> dict:
+    """The admission-control shed envelope: typed, with a backoff hint.
+
+    Shedding answers on the live connection -- the client paid nothing
+    but the round trip, learned when to come back, and can retry safely
+    (requests are idempotent under the canonical fingerprint).
+    """
+    from ..exceptions import OverloadedError
+
+    return error_response(req_id, OverloadedError(
+        "server overloaded: intake queue at capacity; retry after "
+        f"{retry_after_ms:.0f} ms", retry_after_ms=retry_after_ms))
+
+
+def deadline_exceeded_response(req_id: Optional[Any]) -> dict:
+    """The typed envelope for a request whose ``deadline_ms`` ran out."""
+    from ..exceptions import DeadlineExceededError
+
+    return error_response(req_id, DeadlineExceededError(
+        "deadline_ms budget exhausted before a result was available"))
 
 
 def encode_response(resp: dict) -> bytes:

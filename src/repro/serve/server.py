@@ -26,12 +26,28 @@ Design points, each load-bearing:
   timing, and the ``cache_size=0`` contract is that counter totals are a
   pure function of the request stream.
 * **One batcher, per-flush dispatch.**  Unique instances accumulate until
-  ``batch_max`` or the ``linger`` window expires, then the flush is
-  partitioned by ``sha256(key) % shards`` and each shard runs a
+  ``batch_max`` or the ``linger`` window expires (truncated to the
+  earliest deadline in the batch -- a request about to expire never waits
+  out a linger it cannot afford), then the flush is partitioned by
+  ``sha256(key) % shards`` and each shard runs a
   :func:`repro.runtime.supervised_map` (its own worker process, the full
   timeout/retry/escalate/fault ladder) on an executor thread.  Shards of
   one flush run concurrently; the batcher does not pull new work until the
-  flush lands, which bounds memory and makes drain trivial.
+  flush lands, and admission control bounds what can accumulate behind it.
+* **Overload semantics** (:mod:`repro.serve.resilience`).  The intake
+  queue is bounded (``queue_cap``): a request that would overflow it is
+  *shed* with a typed ``overloaded`` envelope carrying a
+  ``retry_after_ms`` hint -- never a dropped socket, never unbounded
+  memory.  Below the cap, a high/low-watermark read gate pauses
+  connection reads for backpressure.  Each request may carry a
+  ``deadline_ms`` budget that flows into the coalesced cell (earliest
+  waiter wins), truncates the batch linger, and becomes the supervised
+  map's per-cell budget; a request whose budget expires anywhere on that
+  path gets a typed ``deadline_exceeded`` envelope.  Per-shard circuit
+  breakers watch dispatch outcomes and brown out a sick shard through the
+  serial -> exact -> cache-only ladder with capped-exponential half-open
+  probes.  Every request therefore terminates in exactly one typed
+  envelope: result, overloaded, deadline_exceeded, or error.
 * **Metrics merge on the event loop.**  Each shard dispatch gets its own
   :class:`~repro.engine.counters.Counters` and tracer; snapshots are merged
   into the server context only on the event loop thread, so concurrent
@@ -42,13 +58,14 @@ Design points, each load-bearing:
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import hashlib
 import threading
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..engine import Counters, EngineContext, EngineSpec
-from ..exceptions import ReproError
+from ..exceptions import ReproError, ShutdownTimeoutError
 from ..obs.tracer import Tracer
 from ..runtime import RuntimePolicy, supervised_map
 
@@ -60,12 +77,31 @@ from ..analysis import parallel as _parallel  # noqa: F401
 from .cache import ResponseCache
 from .protocol import (
     PROTOCOL_VERSION,
+    deadline_exceeded_response,
     decode_request_line,
     encode_response,
     error_response,
     ok_response,
+    overloaded_response,
 )
-from .solver import canonical_request, map_result, solve_cell, solve_cell_exact
+from .resilience import (
+    MODE_CACHE_ONLY,
+    MODE_EXACT,
+    MODE_NORMAL,
+    MODE_SERIAL,
+    AdmissionController,
+    BreakerConfig,
+    Deadline,
+    ShardBreaker,
+    earliest,
+)
+from .solver import (
+    canonical_request,
+    deadline_marker,
+    map_result,
+    solve_cell,
+    solve_cell_exact,
+)
 
 __all__ = ["AllocationServer", "ServeConfig", "ServeHandle", "start_in_thread"]
 
@@ -97,9 +133,31 @@ class ServeConfig:
     cache_size: int = 1024
     policy: Optional[RuntimePolicy] = None
     faults: Optional[str] = None
+    #: Admission control: hard cap on queued (accepted, not yet flushed)
+    #: cells -- beyond it new work is shed with a typed ``overloaded``
+    #: envelope -- and the read-gate watermarks (``None`` = derived:
+    #: high = cap/2, low = high/2) that pause connection reads first.
+    queue_cap: int = 256
+    read_high_watermark: Optional[int] = None
+    read_low_watermark: Optional[int] = None
+    #: Per-request deadline applied when the request carries none
+    #: (``None`` = unbounded, the historical behavior).
+    default_deadline_ms: Optional[float] = None
+    #: Circuit breaker: consecutive bad shard dispatches before tripping,
+    #: and the capped-exponential open-window cooldown.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    breaker_cooldown_cap_s: float = 30.0
 
     def effective_spec(self) -> EngineSpec:
         return self.spec.with_cache(self.cache_size)
+
+    def breaker_config(self) -> BreakerConfig:
+        return BreakerConfig(
+            threshold=self.breaker_threshold,
+            cooldown_base_s=self.breaker_cooldown_s,
+            cooldown_cap_s=self.breaker_cooldown_cap_s,
+        )
 
     def effective_policy(self) -> RuntimePolicy:
         policy = self.policy if self.policy is not None else RuntimePolicy()
@@ -109,14 +167,24 @@ class ServeConfig:
 
 
 class _Cell:
-    """One queued unit of worker work: a unique canonical instance."""
+    """One queued unit of worker work: a unique canonical instance.
 
-    __slots__ = ("key", "canon_dict", "future")
+    ``deadline`` is the earliest deadline among the cell's waiters; a
+    coalescer arriving while the cell is still queued tightens it
+    (``dispatched`` gates that -- once a flush holds the cell, its budget
+    is frozen, and late coalescers are bounded by their own response-side
+    ``wait_for`` instead).
+    """
 
-    def __init__(self, key: bytes, canon_dict: dict, future: asyncio.Future) -> None:
+    __slots__ = ("key", "canon_dict", "future", "deadline", "dispatched")
+
+    def __init__(self, key: bytes, canon_dict: dict, future: asyncio.Future,
+                 deadline: Optional[Deadline] = None) -> None:
         self.key = key
         self.canon_dict = canon_dict
         self.future = future
+        self.deadline = deadline
+        self.dispatched = False
 
 
 class AllocationServer:
@@ -143,9 +211,23 @@ class AllocationServer:
         tracer = Tracer(enabled=True)
         self.ctx = EngineContext(cache_size=0, tracer=tracer)
         self.cache = ResponseCache(config.cache_size)
+        self.admission = AdmissionController(
+            queue_cap=config.queue_cap,
+            batch_max=config.batch_max,
+            high_watermark=config.read_high_watermark,
+            low_watermark=config.read_low_watermark,
+            linger_ms=config.linger_ms,
+        )
+        self.breakers = [
+            ShardBreaker(i, config.breaker_config())
+            for i in range(max(config.shards, 1))
+        ]
         self._queue: asyncio.Queue = asyncio.Queue()
-        self._inflight: dict[bytes, asyncio.Future] = {}
+        self._inflight: dict[bytes, _Cell] = {}
         self._open: set = set()  # every unresolved cell future (drain waits)
+        self._conn_tasks: set = set()  # live connection handlers (shutdown)
+        self._read_gate = asyncio.Event()  # cleared = intake paused
+        self._read_gate.set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._batcher_task: Optional[asyncio.Task] = None
         self._closed = asyncio.Event()
@@ -183,6 +265,18 @@ class AllocationServer:
         await self._queue.put(None)  # batcher shutdown sentinel
         if self._batcher_task is not None:
             await self._batcher_task
+        # Connection drain: every response is already on the wire (drain
+        # above), so established connections end as soon as their clients
+        # close.  A short grace window covers that; anything still parked
+        # on readline afterwards (an idle keep-alive client) is cancelled
+        # so the loop closes without destroying running tasks.
+        if self._conn_tasks:
+            _done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending)
         self._closed.set()
 
     async def drain(self) -> None:
@@ -199,6 +293,8 @@ class AllocationServer:
                 await asyncio.sleep(0.001)
 
     def stats(self) -> dict:
+        import time as _time
+
         out = self.ctx.stats()
         out["protocol"] = PROTOCOL_VERSION
         out["serve_config"] = {
@@ -206,8 +302,15 @@ class AllocationServer:
             "batch_max": self.config.batch_max,
             "linger_ms": self.config.linger_ms,
             "cache_size": self.config.cache_size,
+            "queue_cap": self.config.queue_cap,
+            "default_deadline_ms": self.config.default_deadline_ms,
         }
         out["response_cache"] = self.cache.stats()
+        out["admission"] = self.admission.stats()
+        # loop.time() is CLOCK_MONOTONIC on CPython/Linux, so monotonic
+        # here keeps breaker cooldowns readable from any thread.
+        now = _time.monotonic()
+        out["breakers"] = {str(b.sid): b.stats(now) for b in self.breakers}
         return out
 
     # -- connection handling ---------------------------------------------
@@ -215,8 +318,16 @@ class AllocationServer:
     async def _handle_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
+                # Backpressure: above the high watermark the server stops
+                # *reading* -- kernel receive buffers fill, the client's
+                # sends block, and well-behaved load slows before any
+                # shedding starts.  The gate reopens at the low watermark.
+                await self._read_gate.wait()
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError) as exc:
@@ -244,6 +355,9 @@ class AllocationServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            finally:
+                if task is not None:
+                    self._conn_tasks.discard(task)
 
     async def _handle_line(self, line: bytes) -> dict:
         """One request line -> one response dict.  Never raises: every
@@ -275,6 +389,7 @@ class AllocationServer:
 
     async def _handle_solve(self, req: dict) -> dict:
         req_id = req.get("id")
+        loop = asyncio.get_running_loop()
         self.ctx.counters.serve_requests += 1
         try:
             key, order, canon_dict = canonical_request(req["graph"])
@@ -282,10 +397,15 @@ class AllocationServer:
             self.ctx.counters.serve_errors += 1
             return error_response(req_id, exc)
 
-        # Every solve request is exactly one of: cache hit, coalesced onto
-        # an in-flight solve, or a miss that enqueues a new cell -- the
-        # three counters tile serve_requests (minus typed errors), which
-        # the metrics tests assert.
+        deadline_ms = req.get("deadline_ms", self.config.default_deadline_ms)
+        deadline = (Deadline.from_ms(loop.time(), deadline_ms)
+                    if deadline_ms is not None else None)
+
+        # Every solve request terminates in exactly one typed envelope --
+        # result, overloaded, deadline_exceeded, or error -- and on the
+        # admission side is exactly one of: cache hit, coalesce onto an
+        # in-flight solve, miss (new cell), or shed.  The counters tile
+        # accordingly, which the metrics tests assert.
         cached = self.cache.get(key)
         if cached is not None:
             self.ctx.counters.serve_cache_hits += 1
@@ -293,21 +413,48 @@ class AllocationServer:
 
         coalesce = self.cache.enabled  # cache_size=0 disables both layers
         with self.ctx.span("serve/coalesce"):
-            future = self._inflight.get(key) if coalesce else None
-            if future is not None:
+            cell = self._inflight.get(key) if coalesce else None
+            if cell is not None:
                 self.ctx.counters.serve_coalesced += 1
+                if not cell.dispatched:
+                    # A coalesced cell honors the earliest deadline among
+                    # its waiters: the solve budget only ever tightens.
+                    cell.deadline = earliest(cell.deadline, deadline)
+                future = cell.future
             else:
+                # Admission control: a new cell costs real work -- shed it
+                # with a typed hint once the intake queue is at capacity.
+                # (Hits and coalesces above cost nothing and always pass.)
+                if self.admission.would_shed():
+                    self.ctx.counters.serve_shed += 1
+                    return overloaded_response(
+                        req_id, self.admission.retry_after_ms())
                 if self.cache.enabled:
                     self.ctx.counters.serve_cache_misses += 1
-                future = asyncio.get_running_loop().create_future()
+                future = loop.create_future()
+                cell = _Cell(key, canon_dict, future, deadline=deadline)
                 if coalesce:
-                    self._inflight[key] = future
+                    self._inflight[key] = cell
                 self._open.add(future)
                 future.add_done_callback(self._open.discard)
-                await self._queue.put(_Cell(key, canon_dict, future))
+                self.admission.admitted()
+                self._update_read_gate()
+                await self._queue.put(cell)
 
         try:
-            result = await asyncio.shield(future)
+            if deadline is None:
+                result = await asyncio.shield(future)
+            else:
+                # The response-side guarantee: whatever happens below the
+                # batcher, this waiter gets its typed envelope on time.
+                # The shield keeps the shared solve alive for coalesced
+                # siblings (and the cache) when this waiter times out.
+                result = await asyncio.wait_for(
+                    asyncio.shield(future),
+                    max(deadline.remaining(loop.time()), 0.0))
+        except asyncio.TimeoutError:
+            self.ctx.counters.serve_deadline_exceeded += 1
+            return deadline_exceeded_response(req_id)
         except ReproError as exc:
             self.ctx.counters.serve_errors += 1
             return error_response(req_id, exc)
@@ -318,11 +465,28 @@ class AllocationServer:
 
     def _respond(self, req_id, result: dict, order) -> dict:
         if "error" in result:
-            self.ctx.counters.serve_errors += 1
-            return {"id": req_id, "status": "error", "error": dict(result["error"])}
+            error = dict(result["error"])
+            # Deadline expirations settled below the batcher (supervised
+            # budget ran out) are the same terminal outcome as a
+            # response-side wait_for timeout -- count them as such, not as
+            # generic errors.
+            if error.get("type") == "DeadlineExceededError":
+                self.ctx.counters.serve_deadline_exceeded += 1
+            else:
+                self.ctx.counters.serve_errors += 1
+            return {"id": req_id, "status": "error", "error": error}
         self.ctx.counters.serve_responses += 1
         with self.ctx.span("serve/respond"):
             return ok_response(req_id, map_result(result, order))
+
+    def _update_read_gate(self) -> None:
+        paused = not self._read_gate.is_set()
+        want_pause = self.admission.should_pause(paused)
+        if want_pause and not paused:
+            self._read_gate.clear()
+            self.ctx.counters.serve_read_pauses += 1
+        elif paused and not want_pause:
+            self._read_gate.set()
 
     # -- batching and dispatch -------------------------------------------
 
@@ -334,10 +498,17 @@ class AllocationServer:
             if cell is None:
                 return
             batch = [cell]
-            deadline = loop.time() + linger
+            flush_at = loop.time() + linger
             stop = False
             while len(batch) < self.config.batch_max:
-                timeout = deadline - loop.time()
+                # The linger never outlives the earliest deadline in the
+                # batch: a request about to expire flushes immediately
+                # rather than waiting out a window it cannot afford.
+                cutoff = flush_at
+                for c in batch:
+                    if c.deadline is not None and c.deadline.at < cutoff:
+                        cutoff = c.deadline.at
+                timeout = cutoff - loop.time()
                 if timeout <= 0:
                     break
                 try:
@@ -348,14 +519,29 @@ class AllocationServer:
                     stop = True
                     break
                 batch.append(nxt)
+            # From here the batch's deadlines are frozen (late coalescers
+            # are bounded by their own response-side wait_for instead) and
+            # the cells no longer count against the intake queue.
+            for c in batch:
+                c.dispatched = True
+            self.admission.dequeued(len(batch))
+            self._update_read_gate()
             await self._flush(batch)
             if stop:
                 return
 
     async def _flush(self, batch: list) -> None:
-        """Dispatch one flush: shard, solve concurrently, settle futures."""
+        """Dispatch one flush: shard, solve concurrently, settle futures.
+
+        Each shard's dispatch mode comes from its circuit breaker: normal
+        (worker pool), serial, exact, or -- the deepest brownout --
+        cache-only, where queued cells fast-fail with a typed
+        ``CircuitOpenError`` without dispatching at all.  Outcomes feed
+        back into the breakers after the flush lands.
+        """
         self.ctx.counters.serve_batches += 1
         loop = asyncio.get_running_loop()
+        t0 = loop.time()
         nshards = max(self.config.shards, 1)
         shards: dict[int, list] = {}
         for cell in batch:
@@ -363,22 +549,54 @@ class AllocationServer:
             sid = int.from_bytes(digest[:4], "little") % nshards
             shards.setdefault(sid, []).append(cell)
 
-        with self.ctx.span("serve/dispatch"):
-            outcomes = await asyncio.gather(
-                *(
-                    loop.run_in_executor(None, self._solve_shard, sid, cells)
-                    for sid, cells in shards.items()
-                )
-            )
+        dispatches: list = []  # (sid, cells, probe) actually dispatched
+        jobs = []
+        for sid, cells in shards.items():
+            mode, probe = self.breakers[sid].dispatch_mode(t0)
+            if probe:
+                self.ctx.counters.breaker_probes += 1
+            if mode == MODE_CACHE_ONLY:
+                self._fastfail_shard(sid, cells, t0)
+                continue
+            # Budgets are computed at dispatch time: whatever the request
+            # already spent queued and lingering is gone from what the
+            # supervised map may use.
+            budgets = [
+                None if cell.deadline is None
+                else max(cell.deadline.remaining(t0), 0.0)
+                for cell in cells
+            ]
+            dispatches.append((sid, cells, probe))
+            jobs.append(loop.run_in_executor(
+                None, self._solve_shard, sid, cells, mode, budgets))
 
-        for cells, (results, error, counters, tracer) in zip(
-            shards.values(), outcomes
+        if not jobs:
+            return
+        with self.ctx.span("serve/dispatch"):
+            outcomes = await asyncio.gather(*jobs)
+        now = loop.time()
+        self.admission.observe_flush(now - t0)
+
+        for (sid, cells, probe), (results, error, counters, tracer) in zip(
+            dispatches, outcomes
         ):
             # Merge on the event loop thread only -- no executor thread
             # ever touches the shared context.
-            self.ctx.counters.merge_snapshot(counters.snapshot())
+            snapshot = counters.snapshot()
+            self.ctx.counters.merge_snapshot(snapshot)
             if self.ctx.tracer is not None:
                 self.ctx.tracer.merge_snapshot(tracer.snapshot())
+            # Feed the breaker.  Degraded non-probe outcomes are ignored
+            # inside on_outcome; "bad" means the shard itself is sick
+            # (supervisor failure, worker kills, cell timeouts,
+            # escalations), never per-request typed errors or deadline
+            # expirations.
+            bad = ShardBreaker.outcome_is_bad(error, snapshot)
+            detail = (f"{type(error).__name__}: {error}" if error is not None
+                      else "sick dispatch counters" if bad else None)
+            if self.breakers[sid].on_outcome(not bad, now, probe=probe,
+                                             detail=detail):
+                self.ctx.counters.breaker_trips += 1
             for i, cell in enumerate(cells):
                 self._inflight.pop(cell.key, None)
                 if cell.future.cancelled():
@@ -391,27 +609,64 @@ class AllocationServer:
                         self.cache.put(cell.key, result)
                     cell.future.set_result(result)
 
-    def _solve_shard(self, sid: int, cells: list):
+    def _fastfail_shard(self, sid: int, cells: list, now: float) -> None:
+        """Cache-only brownout: settle every queued cell with a typed
+        ``CircuitOpenError`` marker carrying the remaining cooldown.  Cache
+        hits never reach the queue, so everything here is necessarily a
+        miss the shard is too sick to solve."""
+        self.ctx.counters.breaker_fastfails += len(cells)
+        retry_after = self.breakers[sid].retry_after_ms(now)
+        for cell in cells:
+            self._inflight.pop(cell.key, None)
+            if cell.future.cancelled():
+                continue
+            cell.future.set_result({"error": {
+                "type": "CircuitOpenError",
+                "message": (
+                    f"shard {sid} circuit open (cache-only brownout); "
+                    f"retry after {retry_after:.0f} ms"),
+                "retry_after_ms": round(retry_after, 3),
+            }})
+
+    def _solve_shard(self, sid: int, cells: list, mode: str, budgets: list):
         """Executor-thread entry: one supervised map over a shard's cells.
 
         ``shards=0`` runs the serial in-process path (``processes=0``);
         otherwise each shard gets one worker process per flush, so the
         resource envelope / timeout / kill-recovery machinery is live and a
-        worker death costs one shard's retry, not the server.
+        worker death costs one shard's retry, not the server.  Breaker
+        brownouts override the mode: ``serial`` drops the worker process
+        (nothing left to kill), ``exact`` additionally skips the failing
+        float attempts and solves straight on the ``Fraction`` backend.
+        Per-cell deadline budgets flow into the map; an expired cell
+        settles as a ``DeadlineExceededError`` marker via
+        :func:`deadline_marker` instead of failing its batch.
         """
         counters = Counters()
         tracer = Tracer(enabled=True)
         processes = 0 if self.config.shards <= 0 else 1
+        fn = solve_cell
+        escalate = solve_cell_exact
+        if mode == MODE_SERIAL:
+            processes = 0
+        elif mode == MODE_EXACT:
+            processes = 0
+            fn = solve_cell_exact
+            escalate = None
         items = [(self.shard_specs[sid], cell.canon_dict) for cell in cells]
+        if all(b is None for b in budgets):
+            budgets = None
         try:
             results = supervised_map(
-                solve_cell,
+                fn,
                 items,
                 processes=processes,
                 policy=self.policy,
                 counters=counters,
-                escalate_fn=solve_cell_exact,
+                escalate_fn=escalate,
                 tracer=tracer,
+                budgets=budgets,
+                on_deadline=deadline_marker,
             )
             return results, None, counters, tracer
         except Exception as exc:
@@ -440,7 +695,10 @@ class ServeHandle:
 
         Safe to call after a client-issued ``shutdown`` op already stopped
         the loop -- the race between "still alive" and "loop closed" is
-        inherent, so a closed loop just means the work is done.
+        inherent, so a closed loop just means the work is done.  Raises
+        :class:`~repro.exceptions.ShutdownTimeoutError` when the server
+        thread fails to exit within ``timeout`` -- a silent non-join left
+        callers believing a possibly-wedged server was gone.
         """
         if self.thread.is_alive():
             try:
@@ -449,7 +707,16 @@ class ServeHandle:
                 ).result(timeout)
             except RuntimeError:
                 pass  # loop already closed by an in-band shutdown op
+            except concurrent.futures.TimeoutError:
+                raise ShutdownTimeoutError(
+                    f"repro-serve graceful shutdown did not complete within "
+                    f"{timeout:.1f}s (drain wedged or loop unresponsive)"
+                ) from None
         self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise ShutdownTimeoutError(
+                f"repro-serve thread failed to exit within {timeout:.1f}s "
+                "after shutdown completed")
 
 
 def start_in_thread(config: Optional[ServeConfig] = None,

@@ -40,11 +40,28 @@ from ..numeric import EXACT
 __all__ = [
     "canonical_graph",
     "canonical_request",
+    "deadline_marker",
     "map_result",
     "single_shot_response",
     "solve_cell",
     "solve_cell_exact",
 ]
+
+
+def deadline_marker(item: tuple[EngineSpec, dict]) -> dict:
+    """``supervised_map``'s ``on_deadline`` hook for serve cells.
+
+    A cell whose deadline budget runs out inside the map settles as this
+    marker -- the same ``{"error": ...}`` shape :func:`solve_cell` uses for
+    typed per-instance failures -- so one expired request costs one typed
+    ``deadline_exceeded`` envelope, never its batch.  The server's
+    ``_respond`` recognizes the type name and counts it under
+    ``serve_deadline_exceeded`` rather than ``serve_errors``.
+    """
+    return {"error": {
+        "type": "DeadlineExceededError",
+        "message": "deadline_ms budget exhausted before the solve completed",
+    }}
 
 
 def canonical_graph(g: WeightedGraph, order: Sequence[int]) -> WeightedGraph:
@@ -163,12 +180,21 @@ def solve_cell_exact(item: tuple[EngineSpec, dict]) -> dict:
     Wired as ``supervised_map``'s ``escalate_fn``, so a request whose float
     solve keeps failing with a typed numeric error is answered exactly
     (``frac`` encodings in the response) instead of failing the client.
+    Also dispatched directly when a shard breaker brownouts to ``exact``
+    mode, which is why it carries the same non-retryable -> error-marker
+    discipline as :func:`solve_cell` (as escalate_fn the distinction is
+    moot: escalation is already the ladder's last rung).
     """
     spec, canon_dict = item
     from ..analysis.parallel import _context_for
 
     ctx = _context_for(spec)
-    return _solve_canonical(canon_dict, ctx, EXACT)
+    try:
+        return _solve_canonical(canon_dict, ctx, EXACT)
+    except ReproError as exc:
+        if is_retryable(exc) or is_escalatable(exc):
+            raise
+        return {"error": {"type": type(exc).__name__, "message": str(exc)}}
 
 
 def single_shot_response(

@@ -1,57 +1,15 @@
-"""Tiny blocking test client + server context manager for the serve tests.
+"""Shim: the test client grew up into :mod:`repro.serve.client`.
 
-The tests exercise the real wire path -- a TCP socket against a server on
-a background event loop -- not the internals, so every assertion covers
-exactly what an external client of ``repro-serve`` would observe.
+The serve tests exercise the real wire path -- a TCP socket against a
+server on a background event loop -- so the client they use is now the
+shipped one, not a test-only copy.
 """
 
 from __future__ import annotations
 
-import json
-import socket
-from contextlib import contextmanager
-
-from repro.serve import ServeConfig, start_in_thread
-
-
-class Client:
-    """One blocking JSONL connection; ``rpc`` sends a dict, returns a dict."""
-
-    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
-        self.sock = socket.create_connection((host, port), timeout=60)
-        self.file = self.sock.makefile("rb")
-
-    def send_raw(self, payload: bytes) -> dict:
-        self.sock.sendall(payload)
-        line = self.file.readline()
-        assert line, "server dropped the connection"
-        return json.loads(line)
-
-    def rpc(self, obj: dict) -> dict:
-        return self.send_raw(json.dumps(obj).encode("utf-8") + b"\n")
-
-    def close(self) -> None:
-        try:
-            self.file.close()
-            self.sock.close()
-        except OSError:
-            pass
-
-
-@contextmanager
-def serving(**kwargs):
-    """A running server; yields the :class:`repro.serve.ServeHandle`."""
-    handle = start_in_thread(ServeConfig(**kwargs))
-    try:
-        yield handle
-    finally:
-        handle.stop()
-
-
-@contextmanager
-def client_for(handle):
-    c = Client(handle.port)
-    try:
-        yield c
-    finally:
-        c.close()
+from repro.serve.client import (  # noqa: F401
+    Client,
+    ResilientClient,
+    client_for,
+    serving,
+)

@@ -1,0 +1,214 @@
+"""The :class:`repro.serve.client.ResilientClient` retry policy, pinned.
+
+Retry behavior is tested against a *scripted* protocol server (a thread
+answering from a deterministic playbook), so every branch -- shed then
+success, hint honoring, budget exhaustion, terminal typed errors,
+reconnect after a drop -- is driven exactly, with no timing luck.  A
+final test runs the client against the real daemon end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServeRequestError,
+)
+from repro.graphs import ring
+from repro.io import graph_to_dict
+from repro.serve.client import ResilientClient
+
+from .client import serving
+
+GRAPH = graph_to_dict(ring([1.0, 2.0, 3.0, 4.0]))
+
+
+@contextmanager
+def scripted_server(playbook):
+    """A TCP server answering each request line from ``playbook``.
+
+    ``playbook`` entries are callables ``(req_dict, count) -> response
+    dict | None``; ``None`` means drop the connection without answering
+    (the torn-line case a client must survive).  Entries are consumed in
+    request arrival order across all connections; the last entry repeats.
+    """
+    counter = {"n": 0}
+    lock = threading.Lock()
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self):
+            while True:
+                line = self.rfile.readline()
+                if not line:
+                    return
+                with lock:
+                    n = counter["n"]
+                    counter["n"] += 1
+                entry = playbook[min(n, len(playbook) - 1)]
+                resp = entry(json.loads(line), n)
+                if resp is None:
+                    return  # drop without answering
+                self.wfile.write(
+                    json.dumps(resp).encode("utf-8") + b"\n")
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with Server(("127.0.0.1", 0), Handler) as srv:
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield srv.server_address[1], counter
+        finally:
+            srv.shutdown()
+
+
+def _ok(req, n):
+    return {"id": req.get("id"), "status": "ok", "result": {"n": n}}
+
+
+def _overloaded(retry_after_ms=1.0):
+    def reply(req, n):
+        return {"id": req.get("id"), "status": "error",
+                "error": {"type": "OverloadedError", "message": "full",
+                          "retry_after_ms": retry_after_ms}}
+    return reply
+
+
+def _drop(req, n):
+    return None
+
+
+def test_retries_sheds_until_success():
+    with scripted_server([_overloaded(), _overloaded(), _ok]) as (port, seen):
+        client = ResilientClient(port, seed=0, backoff_base_ms=1.0)
+        result = client.solve(GRAPH)
+        client.close()
+    assert result == {"n": 2}
+    assert seen["n"] == 3
+    assert client.retries == 2
+    assert client.sheds_seen == 2
+
+
+def test_raises_overloaded_when_attempts_exhausted():
+    with scripted_server([_overloaded(retry_after_ms=2.5)]) as (port, _):
+        client = ResilientClient(port, seed=0, max_attempts=3,
+                                 backoff_base_ms=1.0)
+        with pytest.raises(OverloadedError) as err:
+            client.solve(GRAPH)
+        client.close()
+    assert err.value.retry_after_ms == 2.5
+    assert client.sheds_seen == 3
+
+
+def test_honors_retry_after_hint_as_backoff_floor():
+    hint_ms = 120.0
+    with scripted_server([_overloaded(hint_ms), _ok]) as (port, _):
+        client = ResilientClient(port, seed=0, backoff_base_ms=1.0,
+                                 backoff_cap_ms=2.0)
+        t0 = time.monotonic()
+        client.solve(GRAPH)
+        elapsed_ms = (time.monotonic() - t0) * 1000.0
+        client.close()
+    assert elapsed_ms >= hint_ms
+
+
+def test_deadline_budget_stops_retry_loop():
+    """A hint the budget cannot cover raises DeadlineExceededError
+    instead of sleeping past the caller's deadline."""
+    with scripted_server([_overloaded(retry_after_ms=60_000.0)]) as (port, _):
+        client = ResilientClient(port, seed=0, max_attempts=10)
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            client.solve(GRAPH, deadline_ms=150.0)
+        elapsed = time.monotonic() - t0
+        client.close()
+    assert elapsed < 5.0  # never slept the 60s hint
+
+
+def test_remaining_budget_flows_on_the_wire():
+    carried = []
+
+    def capture(req, n):
+        carried.append(req.get("deadline_ms"))
+        return _ok(req, n)
+
+    with scripted_server([_overloaded(1.0), capture]) as (port, _):
+        client = ResilientClient(port, seed=0, backoff_base_ms=1.0)
+        client.solve(GRAPH, deadline_ms=30_000.0)
+        client.close()
+    assert len(carried) == 1
+    # The second attempt carried strictly less than the original budget.
+    assert 0 < carried[0] < 30_000.0
+
+
+def test_server_deadline_verdict_is_terminal():
+    def verdict(req, n):
+        return {"id": req.get("id"), "status": "error",
+                "error": {"type": "DeadlineExceededError", "message": "late"}}
+
+    with scripted_server([verdict]) as (port, seen):
+        client = ResilientClient(port, seed=0)
+        with pytest.raises(DeadlineExceededError):
+            client.solve(GRAPH)
+        client.close()
+    assert seen["n"] == 1  # no retry: there is no time left to retry in
+
+
+def test_typed_request_errors_are_terminal():
+    def bad_graph(req, n):
+        return {"id": req.get("id"), "status": "error",
+                "error": {"type": "GraphError", "message": "not a ring"}}
+
+    with scripted_server([bad_graph]) as (port, seen):
+        client = ResilientClient(port, seed=0)
+        with pytest.raises(ServeRequestError) as err:
+            client.solve(GRAPH)
+        client.close()
+    assert err.value.type_name == "GraphError"
+    assert seen["n"] == 1
+
+
+def test_reconnects_after_connection_drop():
+    with scripted_server([_drop, _ok]) as (port, seen):
+        client = ResilientClient(port, seed=0, backoff_base_ms=1.0)
+        result = client.solve(GRAPH)
+        client.close()
+    assert result == {"n": 1}
+    assert client.reconnects >= 1
+    assert seen["n"] == 2
+
+
+def test_seeded_jitter_is_deterministic():
+    import random
+
+    a, b = ResilientClient(1, seed=42), ResilientClient(1, seed=42)
+    draws_a = [a._rng.uniform(0, 100) for _ in range(5)]
+    draws_b = [b._rng.uniform(0, 100) for _ in range(5)]
+    assert draws_a == draws_b
+    assert draws_a != [random.Random(43).uniform(0, 100) for _ in range(5)]
+
+
+def test_against_real_server_end_to_end():
+    """The shipped client against the shipped daemon: solve, retry-safe
+    re-solve (idempotent by canonical fingerprint), stats, ping."""
+    g = ring([2.0, 7.0, 1.0, 8.0])
+    with serving(shards=0) as handle:
+        client = ResilientClient(handle.port, seed=0)
+        try:
+            first = client.solve(graph_to_dict(g), deadline_ms=60_000.0)
+            again = client.solve(graph_to_dict(g))
+            assert first == again  # cache-hit on the canonical fingerprint
+            assert client.ping()["status"] == "ok"
+            assert client.stats()["serve_requests"] == 2
+        finally:
+            client.close()
