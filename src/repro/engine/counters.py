@@ -64,6 +64,11 @@ INT_COUNTER_FIELDS = (
     "breaker_probes",
     "breaker_fastfails",
     "cell_deadline_expired",
+    "serve_journal_admits",
+    "serve_journal_settles",
+    "serve_journal_replayed",
+    "serve_snapshot_saves",
+    "serve_snapshot_restored",
 )
 
 
@@ -148,6 +153,16 @@ class Counters:
     breaker_probes: int = 0
     breaker_fastfails: int = 0
     cell_deadline_expired: int = 0
+    #: Crash-durability family (see repro.serve.durability): admissions
+    #: appended to the write-ahead request journal, settle records
+    #: appended for completed outcomes, unsettled admissions replayed
+    #: through the solve path after a restart, response-cache snapshots
+    #: written, and cache entries repopulated from a restored snapshot.
+    serve_journal_admits: int = 0
+    serve_journal_settles: int = 0
+    serve_journal_replayed: int = 0
+    serve_snapshot_saves: int = 0
+    serve_snapshot_restored: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Open ``timed`` depth per phase label.  Bookkeeping only -- excluded
     #: from snapshots, merges, and resets -- so that re-entering an

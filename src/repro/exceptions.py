@@ -38,6 +38,8 @@ __all__ = [
     "CircuitOpenError",
     "ShutdownTimeoutError",
     "ServeRequestError",
+    "DurabilityError",
+    "CrashLoopError",
     "is_retryable",
     "is_escalatable",
 ]
@@ -301,6 +303,38 @@ class ShutdownTimeoutError(ServeError):
     fails to join -- a hung shutdown used to return silently and leak the
     thread; now the caller (tests, CI, the CLI) sees it loudly.
     """
+
+
+class DurabilityError(ServeError):
+    """The crash-durability state (request journal / cache snapshot) is
+    unusable: mid-file corruption, a foreign structure fingerprint, or an
+    unwritable configured path.
+
+    Torn *tail* lines are never this error -- they are the write in
+    flight at kill time and recovery truncates them silently, exactly
+    like :class:`CheckpointError` recovery in sweep journals.  This error
+    means the bytes on disk cannot be trusted past the torn-tail model,
+    and the durable server must fast-fail (or cold-start, where the
+    config says recovery is preferred) rather than serve stale state.
+    """
+
+
+class CrashLoopError(ServeError):
+    """The ``repro-serve supervise`` watchdog gave up restarting.
+
+    Raised after ``max_crash_loops`` consecutive child deaths (exit or
+    missed-heartbeat hang) without an intervening healthy period -- a
+    daemon that cannot stay up is a configuration or environment problem
+    a restart loop will never fix, and looping forever hides it.  Carries
+    ``restarts`` (total respawns performed) and ``last_exit`` (the final
+    child's exit code, or ``None`` when it was killed for a hang).
+    """
+
+    def __init__(self, message: str, restarts: int = 0,
+                 last_exit: int | None = None) -> None:
+        super().__init__(message)
+        self.restarts = restarts
+        self.last_exit = last_exit
 
 
 class ServeRequestError(ServeError):

@@ -33,6 +33,7 @@ from .checkpoint import (
     decode_value,
     encode_value,
     open_journal,
+    read_journal,
 )
 from .faults import (
     FaultInjector,
@@ -58,6 +59,7 @@ __all__ = [
     "encode_value",
     "decode_value",
     "CHECKPOINT_FORMAT",
+    "read_journal",
     "FaultRule",
     "FaultPlan",
     "FaultInjector",

@@ -23,12 +23,12 @@ import numbers
 import os
 from fractions import Fraction
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..exceptions import CheckpointError
 
 __all__ = ["CHECKPOINT_FORMAT", "CheckpointJournal", "encode_value",
-           "decode_value", "open_journal"]
+           "decode_value", "open_journal", "read_journal"]
 
 #: Journal format version; bump on incompatible schema changes.
 CHECKPOINT_FORMAT = 1
@@ -111,6 +111,81 @@ def decode_value(obj):
     raise CheckpointError(f"unknown checkpoint value tag {obj!r}")
 
 
+def read_journal(
+    path: str | Path,
+    parse_record: Callable[[object], object],
+    check_header: Optional[Callable[[dict], None]] = None,
+) -> tuple[dict, list]:
+    """Read one append-only JSONL journal with torn-tail recovery.
+
+    The shared recovery discipline behind :class:`CheckpointJournal` and
+    the serving layer's write-ahead request journal
+    (:mod:`repro.serve.durability`): the first line must be a JSON object
+    header (malformed headers refuse loudly -- there is nothing safe to
+    salvage from a journal whose identity line is gone); every following
+    line is JSON-parsed and passed through ``parse_record``.  A bad
+    *final* line -- undecodable JSON or a ``parse_record`` that raises
+    :class:`CheckpointError` / ``KeyError`` / ``TypeError`` -- is the
+    write that was in flight at kill time: it is dropped and **physically
+    truncated** (an append after resume must never concatenate onto the
+    torn fragment).  A bad line anywhere else is real corruption and
+    raises :class:`CheckpointError`.
+
+    ``check_header`` (when given) runs on the parsed header *before* any
+    record is touched: a journal that fails its identity check (wrong
+    format, foreign fingerprint) must be refused without mutating it --
+    truncating the torn tail of a file we decline to resume would modify
+    state we disclaimed ownership of.
+
+    Returns ``(header, records)`` where ``records`` are the
+    ``parse_record`` outputs of every surviving record line.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    blobs = raw.split(b"\n")
+    if blobs and blobs[-1] == b"":
+        blobs.pop()  # file ends with a newline, as every clean write does
+    lines = [b.decode("utf-8", errors="replace") for b in blobs]
+    if not lines:
+        raise CheckpointError(f"checkpoint {path} is empty (no header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} has a malformed header: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise CheckpointError(
+            f"checkpoint {path} header is not an object: "
+            f"{type(header).__name__}"
+        )
+    if check_header is not None:
+        check_header(header)
+    records: list = []
+    for i, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            records.append(parse_record(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, CheckpointError):
+            if i == len(lines):
+                # Torn final line: the write in flight when the run was
+                # killed.  Drop it -- and physically truncate it, or the
+                # next append would concatenate onto the torn fragment
+                # and corrupt that record too (the cell is recomputed).
+                keep = sum(len(b) + 1 for b in blobs[:i - 1])
+                with open(path, "r+b") as fh:
+                    fh.truncate(keep)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                break
+            raise CheckpointError(
+                f"checkpoint {path} line {i} is corrupt mid-file"
+            )
+    return header, records
+
+
 class CheckpointJournal:
     """One append-only journal, keyed by opaque string cell keys.
 
@@ -144,26 +219,7 @@ class CheckpointJournal:
         journal._fh = open(journal.path, "a")
         return journal
 
-    def _load_existing(self) -> None:
-        with open(self.path, "rb") as fh:
-            raw = fh.read()
-        blobs = raw.split(b"\n")
-        if blobs and blobs[-1] == b"":
-            blobs.pop()  # file ends with a newline, as every clean write does
-        lines = [b.decode("utf-8", errors="replace") for b in blobs]
-        if not lines:
-            raise CheckpointError(f"checkpoint {self.path} is empty (no header)")
-        try:
-            header = json.loads(lines[0])
-        except json.JSONDecodeError as exc:
-            raise CheckpointError(
-                f"checkpoint {self.path} has a malformed header: {exc}"
-            ) from exc
-        if not isinstance(header, dict):
-            raise CheckpointError(
-                f"checkpoint {self.path} header is not an object: "
-                f"{type(header).__name__}"
-            )
+    def _check_header(self, header: dict) -> None:
         fmt = header.get("format")
         if fmt != CHECKPOINT_FORMAT:
             raise CheckpointError(
@@ -176,27 +232,15 @@ class CheckpointJournal:
                 f"(fingerprint {header.get('fingerprint')!r} != "
                 f"{self.fingerprint!r}); refusing to resume"
             )
-        for i, line in enumerate(lines[1:], start=2):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-                self.done[entry["k"]] = decode_value(entry["v"])
-            except (json.JSONDecodeError, KeyError, TypeError, CheckpointError):
-                if i == len(lines):
-                    # Torn final line: the write in flight when the run was
-                    # killed.  Drop it -- and physically truncate it, or the
-                    # next append would concatenate onto the torn fragment
-                    # and corrupt that record too (the cell is recomputed).
-                    keep = sum(len(b) + 1 for b in blobs[:i - 1])
-                    with open(self.path, "r+b") as fh:
-                        fh.truncate(keep)
-                        fh.flush()
-                        os.fsync(fh.fileno())
-                    break
-                raise CheckpointError(
-                    f"checkpoint {self.path} line {i} is corrupt mid-file"
-                )
+
+    def _load_existing(self) -> None:
+        _header, records = read_journal(
+            self.path,
+            lambda entry: (entry["k"], decode_value(entry["v"])),
+            check_header=self._check_header,
+        )
+        for key, value in records:
+            self.done[key] = value
 
     def close(self) -> None:
         if self._fh is not None:

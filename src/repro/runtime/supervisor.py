@@ -39,7 +39,10 @@ completion order, keyed by submission index.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import signal
+import sys
 import time
 from collections import deque
 from typing import Callable, Optional, Sequence, TypeVar
@@ -157,6 +160,36 @@ def run_cell(
 # worker side
 # ---------------------------------------------------------------------------
 
+def _bind_to_parent_death() -> None:
+    """Linux: arrange for the kernel to SIGKILL this worker when its
+    parent dies (``PR_SET_PDEATHSIG``).
+
+    A worker that outlives a crashed parent is worse than a leak: a
+    forked child holds *every* inherited descriptor, and when the parent
+    is a serving daemon that includes its listening socket -- the orphan
+    keeps the port bound and silently swallows new connections into a
+    backlog nothing will ever accept, wedging the restarted server.  The
+    supervisor's own kill paths cover supervised shutdowns; this covers
+    the parent dying in ways nothing supervises (SIGKILL, OOM, segfault).
+    Best-effort and Linux-only: elsewhere the supervisor-side cleanup is
+    the only line of defense.
+    """
+    if not sys.platform.startswith("linux"):
+        return
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGKILL, 0, 0, 0)
+    except Exception:  # pragma: no cover - no libc/prctl on this platform
+        return
+    # Close the fork-to-prctl race: a parent that died in between will
+    # never trigger the death signal, but it did reparent us to init.
+    if os.getppid() == 1:
+        os._exit(1)
+
+
 def _worker_main(task_q, result_q, fn, fault_spec: Optional[str],
                  envelope: Optional[tuple] = None,
                  max_bruteforce_n: Optional[int] = None) -> None:
@@ -182,6 +215,7 @@ def _worker_main(task_q, result_q, fn, fault_spec: Optional[str],
     ``None`` for cells that touched no engine context, and stays a small
     flat dict otherwise, preserving the atomic-pipe-write size assumption.
     """
+    _bind_to_parent_death()
     if envelope is not None:
         apply_rlimits(*envelope)
     if max_bruteforce_n is not None:

@@ -38,11 +38,32 @@ layer on top of the existing substrate:
   bursts genuinely exceed batcher capacity), the chaos-scheduled overload
   soak behind ``repro-serve overload``, recording shed rate, goodput and
   p50/p99 latency in the ``repro-bench`` schema (``BENCH_serve.json``,
-  ``BENCH_overload.json``).
+  ``BENCH_overload.json``);
+* :mod:`repro.serve.durability` -- crash durability: the write-ahead
+  request journal (admit before dispatch, settle on outcome, replay the
+  unsettled tail on restart, compact against settles) and the bit-exact
+  response-cache snapshot, both fingerprint-guarded and torn-tail
+  tolerant via the shared :func:`repro.runtime.read_journal` discipline;
+* :mod:`repro.serve.supervise` -- the watchdog parent behind
+  ``repro-serve supervise``: ping-heartbeat liveness, SIGKILL-and-restart
+  of wedged children with capped-exponential backoff, and a typed
+  :class:`~repro.exceptions.CrashLoopError` give-up;
+* :mod:`repro.serve.crash` -- the crash soak behind ``repro-serve
+  durable`` (``BENCH_durable.json``): SIGKILL the supervised daemon
+  mid-traffic and assert exactly-one-typed-outcome tiling with responses
+  bit-identical to a crash-free run.
 """
 
 from .cache import ResponseCache
 from .client import Client, ResilientClient
+from .crash import DURABLE_BENCH_NAME, DurableConfig, run_durable
+from .durability import (
+    DurabilityConfig,
+    RequestJournal,
+    durability_fingerprint,
+    load_snapshot,
+    save_snapshot,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     deadline_exceeded_response,
@@ -66,28 +87,40 @@ from .solver import (
     single_shot_response,
     solve_cell,
 )
+from .supervise import SuperviseConfig, Supervisor, serve_child_argv
 
 __all__ = [
     "AdmissionController",
     "AllocationServer",
     "BreakerConfig",
     "Client",
+    "DURABLE_BENCH_NAME",
     "Deadline",
+    "DurabilityConfig",
+    "DurableConfig",
     "PROTOCOL_VERSION",
+    "RequestJournal",
     "ResilientClient",
     "ResponseCache",
     "ServeConfig",
     "ServeHandle",
     "ShardBreaker",
+    "SuperviseConfig",
+    "Supervisor",
     "canonical_request",
+    "durability_fingerprint",
     "deadline_exceeded_response",
     "deadline_marker",
     "decode_request_line",
     "encode_response",
     "error_response",
+    "load_snapshot",
     "map_result",
     "ok_response",
     "overloaded_response",
+    "run_durable",
+    "save_snapshot",
+    "serve_child_argv",
     "single_shot_response",
     "solve_cell",
     "start_in_thread",

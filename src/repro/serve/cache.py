@@ -60,6 +60,15 @@ class ResponseCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
+    def entries(self) -> list[tuple[bytes, dict]]:
+        """Every ``(key, value)`` pair, least-recently-used first.
+
+        The snapshot layer (:mod:`repro.serve.durability`) serializes this
+        list; restoring in the same order replays the LRU recency, so a
+        warm restart evicts the same entries a continuous run would have.
+        """
+        return list(self._entries.items())
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -1,6 +1,6 @@
-"""``repro-serve``: run, load-test, and soak the allocation daemon.
+"""``repro-serve``: run, supervise, load-test, and soak the daemon.
 
-Four subcommands::
+Seven subcommands::
 
     repro-serve serve [--port P] [--shards N] [--batch-max K] [--linger MS]
                       [--cache-size N] [--timeout S] [--retries N]
@@ -30,19 +30,42 @@ Four subcommands::
         and exits non-zero on any overload-contract violation (server
         died, queue exceeded its cap, a request without exactly one typed
         terminal outcome, a shed below capacity).
+
+    repro-serve supervise --port P [--durable DIR] [server flags]
+                          [--heartbeat S] [--max-crash-loops N]
+        Watchdog: run the daemon as a supervised child at a fixed port,
+        restarting it (capped-exponential backoff) when it exits or stops
+        answering pings; exits 3 after a crash loop.  With ``--durable``
+        each incarnation resumes the journal/snapshot state.
+
+    repro-serve stats --port P
+        Print one stats call against a running server (includes the
+        ``durability`` block and the ``restarts`` gauge).
+
+    repro-serve durable [--out BENCH_durable.json] [--kill-after N] ...
+        The crash soak: a supervised durable server is SIGKILLed
+        mid-traffic while resilient clients keep driving requests.
+        Exits non-zero unless every request terminated in exactly one
+        typed outcome with responses bit-identical to a crash-free run,
+        the restarts gauge saw every kill, and the journal drained empty.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import signal
 import sys
 import threading
 from typing import Optional
 
+from ..exceptions import CrashLoopError
 from ..obs.bench import save_report
 from ..runtime import RuntimePolicy
+from .client import Client
+from .crash import DURABLE_BENCH_NAME, DurableConfig, run_durable
+from .durability import DurabilityConfig
 from .load import (
     OVERLOAD_BENCH_NAME,
     SOAK_BENCH_NAME,
@@ -53,6 +76,7 @@ from .load import (
     run_soak,
 )
 from .server import ServeConfig, start_in_thread
+from .supervise import SuperviseConfig, Supervisor, serve_child_argv
 
 __all__ = ["main"]
 
@@ -86,6 +110,19 @@ def _add_server_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--breaker-cooldown", type=float, default=1.0,
                    metavar="S", help="base open-window cooldown in seconds "
                    "(doubles per trip, capped at 30s)")
+    p.add_argument("--durable", default=None, metavar="DIR",
+                   help="crash durability directory: write-ahead-journal "
+                        "every admission and snapshot the response cache "
+                        "there; on restart, restore the snapshot and replay "
+                        "unsettled admissions")
+    p.add_argument("--fsync", default="always",
+                   choices=["always", "batch", "off"],
+                   help="journal fsync policy (with --durable): 'always' "
+                        "fsyncs every record, 'batch' only at rotation/"
+                        "snapshot boundaries, 'off' never")
+    p.add_argument("--snapshot-interval", type=float, default=30.0,
+                   metavar="S", help="seconds between response-cache "
+                   "snapshots (with --durable)")
 
 
 def _add_load_flags(p: argparse.ArgumentParser) -> None:
@@ -102,6 +139,11 @@ def _add_load_flags(p: argparse.ArgumentParser) -> None:
 
 def _serve_config(args: argparse.Namespace) -> ServeConfig:
     policy = RuntimePolicy(timeout=args.timeout, retries=args.retries)
+    durability = None
+    if getattr(args, "durable", None) is not None:
+        durability = DurabilityConfig(
+            dir=args.durable, fsync=args.fsync,
+            snapshot_interval_s=args.snapshot_interval).validated()
     return ServeConfig(
         host=args.host, port=args.port, shards=args.shards,
         batch_max=args.batch_max, linger_ms=args.linger,
@@ -110,6 +152,7 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
         default_deadline_ms=args.deadline_ms,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
+        durability=durability,
     )
 
 
@@ -162,6 +205,47 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="skip the fault plan (pure overload burst)")
     overload.add_argument("--out", default="BENCH_overload.json")
     overload.add_argument("--tag", default="overload")
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="watchdog: run the daemon as a supervised child, restarting "
+             "it on crash or hang (requires a fixed --port)")
+    _add_server_flags(supervise)
+    supervise.add_argument("--heartbeat", type=float, default=1.0,
+                           metavar="S", help="seconds between liveness pings")
+    supervise.add_argument("--heartbeat-misses", type=int, default=3,
+                           help="consecutive missed pings before the child "
+                                "is declared hung and restarted")
+    supervise.add_argument("--restart-backoff", type=float, default=0.2,
+                           metavar="S", help="base restart backoff (doubles "
+                           "per consecutive crash, capped at 5s)")
+    supervise.add_argument("--max-crash-loops", type=int, default=5,
+                           help="consecutive fast crashes tolerated before "
+                                "the supervisor gives up (exit 3)")
+
+    stats = sub.add_parser(
+        "stats", help="one stats call against a running server")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True)
+
+    durable = sub.add_parser(
+        "durable",
+        help="crash soak: supervised durable server + SIGKILL schedule + "
+             "repro-bench report")
+    durable.add_argument("--requests", type=int, default=80)
+    durable.add_argument("--clients", type=int, default=4)
+    durable.add_argument("--seed", type=int, default=0)
+    durable.add_argument("--kill-after", type=int, default=12,
+                         help="SIGKILL the daemon after this many completed "
+                              "responses (per kill)")
+    durable.add_argument("--kills", type=int, default=1)
+    durable.add_argument("--fsync", default="always",
+                         choices=["always", "batch", "off"])
+    durable.add_argument("--snapshot-interval", type=float, default=2.0,
+                         metavar="S")
+    durable.add_argument("--shards", type=int, default=1)
+    durable.add_argument("--out", default="BENCH_durable.json")
+    durable.add_argument("--tag", default="durable")
     return parser
 
 
@@ -228,11 +312,119 @@ def _run_serve_foreground(args: argparse.Namespace) -> int:
     return 0
 
 
+def _child_flags(args: argparse.Namespace) -> list[str]:
+    """Re-encode parsed server flags as the supervised child's argv."""
+    extra = [
+        "--shards", str(args.shards),
+        "--batch-max", str(args.batch_max),
+        "--linger", str(args.linger),
+        "--cache-size", str(args.cache_size),
+        "--retries", str(args.retries),
+        "--queue-cap", str(args.queue_cap),
+        "--breaker-threshold", str(args.breaker_threshold),
+        "--breaker-cooldown", str(args.breaker_cooldown),
+    ]
+    if args.timeout is not None:
+        extra += ["--timeout", str(args.timeout)]
+    if args.inject_faults is not None:
+        extra += ["--inject-faults", args.inject_faults]
+    if args.deadline_ms is not None:
+        extra += ["--deadline-ms", str(args.deadline_ms)]
+    if args.durable is not None:
+        extra += ["--durable", args.durable, "--fsync", args.fsync,
+                  "--snapshot-interval", str(args.snapshot_interval)]
+    return extra
+
+
+def _run_supervise(args: argparse.Namespace) -> int:
+    """The ``supervise`` subcommand: watchdog in the foreground.
+
+    Needs a fixed ``--port`` -- clients (and the watchdog's own pings)
+    must find every incarnation at the same address.  First SIGTERM/
+    SIGINT stops the watchdog gracefully (which TERMs the child into its
+    own drain); a second signal hard-exits.  A crash loop exits 3.
+    """
+    if args.port == 0:
+        print("repro-serve supervise: --port must be a fixed nonzero port "
+              "(every incarnation must bind the same address)",
+              file=sys.stderr)
+        return 2
+    supervisor = Supervisor(
+        serve_child_argv(args.host, args.port, _child_flags(args)),
+        args.host, args.port,
+        SuperviseConfig(
+            heartbeat_s=args.heartbeat,
+            heartbeat_misses=args.heartbeat_misses,
+            backoff_base_s=args.restart_backoff,
+            max_crash_loops=args.max_crash_loops,
+        ))
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame) -> None:
+        signals_seen["count"] += 1
+        if signals_seen["count"] >= 2:
+            signal.signal(signum, signal.SIG_DFL)
+            signal.raise_signal(signum)
+            return
+        print(f"repro-serve supervise: signal {signum}, stopping watchdog "
+              "(send again to hard-exit)", file=sys.stderr, flush=True)
+        supervisor.stop()
+
+    old_term = signal.signal(signal.SIGTERM, _on_signal)
+    old_int = signal.signal(signal.SIGINT, _on_signal)
+    try:
+        print(f"repro-serve supervise: watching {args.host}:{args.port} "
+              f"(heartbeat {args.heartbeat}s, give up after "
+              f"{args.max_crash_loops} crash loops)", flush=True)
+        supervisor.run()
+    except CrashLoopError as exc:
+        print(f"repro-serve supervise: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+    print(f"repro-serve supervise: stopped "
+          f"(restarts={supervisor.restarts})", flush=True)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "serve":
         return _run_serve_foreground(args)
+
+    if args.command == "supervise":
+        return _run_supervise(args)
+
+    if args.command == "stats":
+        client = Client(args.port, args.host)
+        try:
+            resp = client.rpc({"op": "stats"})
+        finally:
+            client.close()
+        print(json.dumps(resp.get("result", resp), indent=2, sort_keys=True))
+        return 0 if resp.get("status") == "ok" else 1
+
+    if args.command == "durable":
+        report = run_durable(DurableConfig(
+            requests=args.requests, clients=args.clients, seed=args.seed,
+            kill_after=args.kill_after, kills=args.kills, fsync=args.fsync,
+            snapshot_interval_s=args.snapshot_interval, shards=args.shards,
+        ), tag=args.tag)
+        problems = report.pop("_problems")
+        bench = report["benchmarks"][DURABLE_BENCH_NAME]
+        save_report(report, args.out)
+        lat = bench["latency_ms"]
+        print(f"wrote {args.out}: {bench['requests']} requests through "
+              f"{len(bench['kills'])} SIGKILL(s), outcomes {bench['outcomes']}, "
+              f"restarts {bench['restarts']}, "
+              f"client retries {bench['client_retries']}, "
+              f"p50 {lat['p50']:.2f}ms  p99 {lat['p99']:.2f}ms, "
+              f"problems {len(problems)}")
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1 if problems else 0
 
     if args.command == "load":
         stats = asyncio.run(run_load(args.host, args.port, _load_config(args)))

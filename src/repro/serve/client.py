@@ -51,6 +51,11 @@ __all__ = ["Client", "ResilientClient", "client_for", "serving"]
 #: shed signals (the server did no work; the hint says when to return).
 _RETRYABLE_TYPES = frozenset({"OverloadedError", "CircuitOpenError"})
 
+#: Envelope ``error.type`` names that mean *this endpoint* is dying (a
+#: graceful stop that cannot finish) rather than this request being at
+#: fault: rotate to the next endpoint and retry there.
+_FAILOVER_TYPES = frozenset({"ShutdownTimeoutError"})
+
 
 class Client:
     """One blocking JSONL connection; ``rpc`` sends a dict, returns a dict."""
@@ -84,36 +89,108 @@ class ResilientClient:
     Not thread-safe (one socket, one in-flight request); share nothing or
     give each thread its own instance.  ``seed`` fixes the jitter RNG --
     the soak harness runs deterministic schedules through it.
+
+    **Failover.**  ``endpoints`` is an ordered list of ``(host, port)``
+    pairs (or bare ports on the default ``host``); omitted, the single
+    ``port``/``host`` pair is the whole list.  Transport failures --
+    dropped connections, connection-refused, and a typed
+    ``ShutdownTimeoutError`` envelope (the endpoint is dying, not the
+    request) -- rotate to the next endpoint, all under the same one
+    ``deadline_ms`` budget and the same attempt counter; canonical-
+    fingerprint idempotency is what makes replaying the request at a
+    different endpoint safe.  Connection-refused additionally retries
+    with a short capped backoff per endpoint cycle, so a client racing a
+    (re)starting server -- the supervisor window, a soak harness binding
+    its port -- connects as soon as the listener is up instead of
+    burning a whole attempt.
     """
 
-    def __init__(self, port: int, host: str = "127.0.0.1", *,
+    def __init__(self, port: Optional[int] = None, host: str = "127.0.0.1", *,
+                 endpoints: Optional[list] = None,
                  max_attempts: int = 6,
                  backoff_base_ms: float = 50.0,
                  backoff_cap_ms: float = 5000.0,
                  socket_timeout: float = 60.0,
+                 connect_cycles: int = 4,
+                 connect_backoff_ms: float = 25.0,
                  seed: Optional[int] = None) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
-        self.port = port
-        self.host = host
+        if endpoints:
+            resolved = []
+            for ep in endpoints:
+                if isinstance(ep, int):
+                    resolved.append((host, ep))
+                else:
+                    ep_host, ep_port = ep
+                    resolved.append((str(ep_host), int(ep_port)))
+            self.endpoints = resolved
+        else:
+            if port is None:
+                raise ValueError("either port or endpoints is required")
+            self.endpoints = [(host, int(port))]
+        self._endpoint_idx = 0
         self.max_attempts = int(max_attempts)
         self.backoff_base_ms = float(backoff_base_ms)
         self.backoff_cap_ms = float(backoff_cap_ms)
         self.socket_timeout = float(socket_timeout)
+        self.connect_cycles = max(int(connect_cycles), 1)
+        self.connect_backoff_ms = float(connect_backoff_ms)
         self._rng = random.Random(seed)
         self._client: Optional[Client] = None
         #: Observability for tests and the soak harness.
         self.retries = 0
         self.reconnects = 0
         self.sheds_seen = 0
+        self.failovers = 0
+
+    @property
+    def host(self) -> str:
+        """The current endpoint's host (rotates on failover)."""
+        return self.endpoints[self._endpoint_idx][0]
+
+    @property
+    def port(self) -> int:
+        """The current endpoint's port (rotates on failover)."""
+        return self.endpoints[self._endpoint_idx][1]
 
     # -- connection management --------------------------------------------
 
     def _conn(self) -> Client:
-        if self._client is None:
-            self._client = Client(self.port, self.host,
-                                  timeout=self.socket_timeout)
-        return self._client
+        """The live connection, dialing (with failover) if there is none.
+
+        Tries every endpoint once per cycle, rotating on refusal; a fully
+        refused cycle sleeps a short capped-exponential jittered delay --
+        the startup-race window is tens of milliseconds, so the retry
+        budget here is deliberately small and bounded (worst case well
+        under a second) rather than another full backoff ladder.
+        """
+        if self._client is not None:
+            return self._client
+        last_exc: Optional[Exception] = None
+        for cycle in range(self.connect_cycles):
+            if cycle:
+                cap = min(self.connect_backoff_ms * (2.0 ** (cycle - 1)),
+                          400.0)
+                time.sleep(self._rng.uniform(0.0, cap) / 1000.0)
+            for _ in range(len(self.endpoints)):
+                host, port = self.endpoints[self._endpoint_idx]
+                try:
+                    self._client = Client(port, host,
+                                          timeout=self.socket_timeout)
+                    return self._client
+                except OSError as exc:
+                    last_exc = exc
+                    self._rotate()
+        assert last_exc is not None
+        raise last_exc
+
+    def _rotate(self) -> None:
+        """Advance to the next endpoint (no-op with a single endpoint)."""
+        if len(self.endpoints) > 1:
+            self._drop_conn()
+            self._endpoint_idx = (self._endpoint_idx + 1) % len(self.endpoints)
+            self.failovers += 1
 
     def _drop_conn(self) -> None:
         if self._client is not None:
@@ -176,9 +253,12 @@ class ResilientClient:
                 resp = self._conn().rpc(req)
             except (ConnectionError, OSError) as exc:
                 # Transport drop: idempotency makes the blind retry safe --
-                # if the lost attempt actually solved, the retry cache-hits.
+                # if the lost attempt actually solved, the retry cache-hits
+                # (here or, after the rotation below, at the next
+                # endpoint).
                 self._drop_conn()
                 self.reconnects += 1
+                self._rotate()
                 last_exc = exc
                 self._sleep_backoff(attempt, None, deadline_at)
                 self.retries += 1
@@ -190,6 +270,14 @@ class ResilientClient:
             message = error.get("message", "")
             if type_name == "DeadlineExceededError":
                 raise DeadlineExceededError(message)
+            if type_name in _FAILOVER_TYPES:
+                # The endpoint is going away; the request is fine.  Move.
+                self._drop_conn()
+                self._rotate()
+                last_exc = ServeRequestError(type_name, message)
+                self._sleep_backoff(attempt, None, deadline_at)
+                self.retries += 1
+                continue
             if type_name not in _RETRYABLE_TYPES:
                 raise ServeRequestError(type_name, message)
             # A shed: typed, no work done, hint attached.

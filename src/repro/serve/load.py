@@ -185,6 +185,34 @@ def build_requests(cfg: LoadConfig) -> list[dict]:
     return script
 
 
+#: Connection-refused retry schedule for load clients racing a binding
+#: server: capped-exponential delays off a 25 ms base, ~1.6 s worst case.
+_CONNECT_ATTEMPTS = 8
+_CONNECT_BASE_S = 0.025
+_CONNECT_CAP_S = 0.4
+
+
+async def _connect_retry(host: str, port: int):
+    """``asyncio.open_connection`` that tolerates the startup race.
+
+    Soak harnesses start the server and the load fleet near-concurrently
+    (and the crash soak restarts the server *under* the fleet), so the
+    first connect can land before the listener binds.  Refused/unreachable
+    connects retry on a short capped-exponential schedule; anything still
+    failing after the window propagates -- a server that never comes up
+    must fail the harness, not hang it.
+    """
+    for attempt in range(_CONNECT_ATTEMPTS):
+        try:
+            return await asyncio.open_connection(host, port)
+        except (ConnectionRefusedError, OSError):
+            if attempt == _CONNECT_ATTEMPTS - 1:
+                raise
+            await asyncio.sleep(
+                min(_CONNECT_BASE_S * (2.0 ** attempt), _CONNECT_CAP_S))
+    raise AssertionError("unreachable")
+
+
 async def _client(host: str, port: int, entries: list[dict],
                   latencies: list[float], problems: list[str],
                   outcomes: collections.Counter, pipeline: int = 1,
@@ -197,7 +225,7 @@ async def _client(host: str, port: int, entries: list[dict],
     what lets a burst's concurrency exceed the client count (a closed
     loop of N connections never holds more than N cells server-side).
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    reader, writer = await _connect_retry(host, port)
     try:
         if pipeline <= 1:
             for entry in entries:

@@ -60,12 +60,14 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import hashlib
+import os
 import threading
+import time as _time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..engine import Counters, EngineContext, EngineSpec
-from ..exceptions import ReproError, ShutdownTimeoutError
+from ..exceptions import DurabilityError, ReproError, ShutdownTimeoutError
 from ..obs.tracer import Tracer
 from ..runtime import RuntimePolicy, supervised_map
 
@@ -75,6 +77,13 @@ from ..runtime import RuntimePolicy, supervised_map
 # forked while another thread holds an import lock would deadlock there).
 from ..analysis import parallel as _parallel  # noqa: F401
 from .cache import ResponseCache
+from .durability import (
+    DurabilityConfig,
+    RequestJournal,
+    durability_fingerprint,
+    load_snapshot,
+    save_snapshot,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     deadline_exceeded_response,
@@ -148,6 +157,11 @@ class ServeConfig:
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 1.0
     breaker_cooldown_cap_s: float = 30.0
+    #: Crash durability (:mod:`repro.serve.durability`): ``None`` keeps the
+    #: historical in-memory-only behavior; a :class:`DurabilityConfig`
+    #: write-ahead-journals every admission, snapshots the response cache,
+    #: and replays unsettled work on restart.
+    durability: Optional[DurabilityConfig] = None
 
     def effective_spec(self) -> EngineSpec:
         return self.spec.with_cache(self.cache_size)
@@ -174,17 +188,25 @@ class _Cell:
     (``dispatched`` gates that -- once a flush holds the cell, its budget
     is frozen, and late coalescers are bounded by their own response-side
     ``wait_for`` instead).
+
+    ``seq`` is the cell's write-ahead-journal admission sequence (``None``
+    when durability is off): cells -- not requests -- are the journaled
+    unit, so a coalesced waiter rides its cell's admission and a settle
+    record fires exactly once per cell when its future resolves.
     """
 
-    __slots__ = ("key", "canon_dict", "future", "deadline", "dispatched")
+    __slots__ = ("key", "canon_dict", "future", "deadline", "dispatched",
+                 "seq")
 
     def __init__(self, key: bytes, canon_dict: dict, future: asyncio.Future,
-                 deadline: Optional[Deadline] = None) -> None:
+                 deadline: Optional[Deadline] = None,
+                 seq: Optional[int] = None) -> None:
         self.key = key
         self.canon_dict = canon_dict
         self.future = future
         self.deadline = deadline
         self.dispatched = False
+        self.seq = seq
 
 
 class AllocationServer:
@@ -232,17 +254,99 @@ class AllocationServer:
         self._batcher_task: Optional[asyncio.Task] = None
         self._closed = asyncio.Event()
         self._stopping = False
+        # Crash durability (None/off unless configured).  ``restarts`` is
+        # the supervisor's generation number, handed down via environment
+        # so a freshly-execed child can report how many times its lineage
+        # has been restarted (the ``restarts`` gauge).
+        self._journal: Optional[RequestJournal] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
+        self._snapshot_time: Optional[float] = None
+        self._fingerprint: Optional[str] = None
+        try:
+            self.restarts = int(os.environ.get("REPRO_SERVE_RESTARTS", "0"))
+        except ValueError:
+            self.restarts = 0
 
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
+        if self.config.durability is not None:
+            self._open_durability(self.config.durability.validated())
         self._server = await asyncio.start_server(
             self._handle_conn,
             self.config.host,
             self.config.port,
             limit=MAX_LINE_BYTES,
         )
-        self._batcher_task = asyncio.get_running_loop().create_task(self._batcher())
+        loop = asyncio.get_running_loop()
+        self._batcher_task = loop.create_task(self._batcher())
+        if self._journal is not None:
+            await self._replay_pending()
+            self._snapshot_task = loop.create_task(self._snapshot_loop())
+
+    def _open_durability(self, durability: DurabilityConfig) -> None:
+        """Restore the cache snapshot and open the request journal.
+
+        Runs before the listener binds: recovery state is complete before
+        the first client can connect.  A snapshot whose structure
+        fingerprint does not match is *ignored* (cold cache; correct bytes
+        beat warm bytes), but a foreign *journal* raises -- replaying
+        someone else's admissions under this engine would be wrong work.
+        """
+        self._fingerprint = durability_fingerprint(self.spec)
+        try:
+            entries = load_snapshot(durability.snapshot_path,
+                                    self._fingerprint)
+        except DurabilityError:
+            entries = None  # unusable snapshot: rebuild from scratch
+        if entries:
+            for key, value in entries:
+                self.cache.put(key, value)
+            self.ctx.counters.serve_snapshot_restored += len(entries)
+            self._snapshot_time = _time.monotonic()
+        self._journal = RequestJournal.open(
+            durability.journal_path,
+            self._fingerprint,
+            fsync=durability.fsync,
+            compact_min_settled=durability.compact_min_settled,
+        )
+
+    async def _replay_pending(self) -> None:
+        """Re-enqueue every unsettled journaled admission through the
+        normal solve path.
+
+        The original waiters died with the previous process, so nobody
+        awaits these futures -- the point is that the *work* completes:
+        results land in the response cache (and the journal settles), so
+        a client retrying its idempotent canonical instance gets the
+        answer the crash swallowed.  Replays bypass admission shedding
+        (they were already admitted, durably) but are counted against the
+        queue so the read gate sees honest depth.
+        """
+        assert self._journal is not None
+        loop = asyncio.get_running_loop()
+        for seq, key, canon_dict in self._journal.replay_items():
+            cached = self.cache.get(key)
+            if cached is not None:
+                # The snapshot already carries this instance's bytes; the
+                # admission is complete without a solve.
+                if self._journal.settle(seq):
+                    self.ctx.counters.serve_journal_settles += 1
+                continue
+            self.ctx.counters.serve_journal_replayed += 1
+            future = loop.create_future()
+            # Orphaned future: retrieve any exception so a failed replay
+            # never logs an "exception was never retrieved" warning.
+            future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None)
+            cell = _Cell(key, canon_dict, future, seq=seq)
+            if self.cache.enabled:
+                self._inflight[key] = cell
+            self._open.add(future)
+            future.add_done_callback(self._open.discard)
+            self.admission.admitted()
+            self._update_read_gate()
+            await self._queue.put(cell)
 
     @property
     def port(self) -> int:
@@ -265,6 +369,19 @@ class AllocationServer:
         await self._queue.put(None)  # batcher shutdown sentinel
         if self._batcher_task is not None:
             await self._batcher_task
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        if self._journal is not None:
+            # Graceful exit: one final snapshot (drain above means the
+            # cache holds every settled result) and a clean journal close,
+            # so the next start restores warm and replays nothing.
+            self._write_snapshot()
+            self._journal.close()
         # Connection drain: every response is already on the wire (drain
         # above), so established connections end as soon as their clients
         # close.  A short grace window covers that; anything still parked
@@ -292,9 +409,49 @@ class AllocationServer:
             else:
                 await asyncio.sleep(0.001)
 
-    def stats(self) -> dict:
-        import time as _time
+    async def _snapshot_loop(self) -> None:
+        """Periodic cache snapshots while the server runs.
 
+        The entry list is gathered on the event loop (cheap: list of
+        shared references); the write + fsync + rename runs on an
+        executor thread so a slow disk never stalls intake.
+        """
+        assert self.config.durability is not None
+        interval = self.config.durability.snapshot_interval_s
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(interval)
+            entries = self.cache.entries()
+            path = self.config.durability.snapshot_path
+            fingerprint = self._fingerprint
+            await loop.run_in_executor(
+                None, save_snapshot, path, entries, fingerprint)
+            self.ctx.counters.serve_snapshot_saves += 1
+            self._snapshot_time = _time.monotonic()
+
+    def _write_snapshot(self) -> None:
+        """Synchronous snapshot (shutdown path; blocking the loop is fine
+        once intake is closed)."""
+        assert self.config.durability is not None
+        save_snapshot(self.config.durability.snapshot_path,
+                      self.cache.entries(), self._fingerprint)
+        self.ctx.counters.serve_snapshot_saves += 1
+        self._snapshot_time = _time.monotonic()
+
+    def _settle(self, cell) -> None:
+        """Journal the terminal outcome of one cell, exactly once.
+
+        Every path that resolves a cell's future -- worker results, shard
+        dispatch errors, cache-only fast-fails, deadline markers -- lands
+        here; the journal's own per-sequence idempotence makes a double
+        call harmless anyway.
+        """
+        if self._journal is None or cell.seq is None:
+            return
+        if self._journal.settle(cell.seq):
+            self.ctx.counters.serve_journal_settles += 1
+
+    def stats(self) -> dict:
         out = self.ctx.stats()
         out["protocol"] = PROTOCOL_VERSION
         out["serve_config"] = {
@@ -307,6 +464,18 @@ class AllocationServer:
         }
         out["response_cache"] = self.cache.stats()
         out["admission"] = self.admission.stats()
+        out["restarts"] = self.restarts
+        if self.config.durability is not None:
+            age = (None if self._snapshot_time is None
+                   else round(_time.monotonic() - self._snapshot_time, 3))
+            out["durability"] = {
+                "journal_depth": (len(self._journal)
+                                  if self._journal is not None else 0),
+                "snapshot_age_s": age,
+                "snapshot_entries": len(self.cache),
+                "fsync": self.config.durability.fsync,
+                "dir": str(self.config.durability.dir),
+            }
         # loop.time() is CLOCK_MONOTONIC on CPython/Linux, so monotonic
         # here keeps breaker cooldowns readable from any thread.
         now = _time.monotonic()
@@ -433,6 +602,17 @@ class AllocationServer:
                     self.ctx.counters.serve_cache_misses += 1
                 future = loop.create_future()
                 cell = _Cell(key, canon_dict, future, deadline=deadline)
+                if self._journal is not None:
+                    # Write-ahead: the admission is on disk before the
+                    # cell can reach a worker, so a crash at any later
+                    # point leaves a replayable record.  The append (and
+                    # under fsync="always" its fsync) runs on the event
+                    # loop -- intake latency is the price of the
+                    # durability guarantee, and it is paid only by new
+                    # cells, never by cache hits or coalesces.
+                    cell.seq = self._journal.admit(
+                        key, canon_dict, deadline_ms=deadline_ms)
+                    self.ctx.counters.serve_journal_admits += 1
                 if coalesce:
                     self._inflight[key] = cell
                 self._open.add(future)
@@ -599,6 +779,10 @@ class AllocationServer:
                 self.ctx.counters.breaker_trips += 1
             for i, cell in enumerate(cells):
                 self._inflight.pop(cell.key, None)
+                # Any resolution -- result, deadline marker, or dispatch
+                # error -- is a terminal typed outcome: settle the
+                # journaled admission so a restart does not redo it.
+                self._settle(cell)
                 if cell.future.cancelled():
                     continue
                 if error is not None:
@@ -618,6 +802,7 @@ class AllocationServer:
         retry_after = self.breakers[sid].retry_after_ms(now)
         for cell in cells:
             self._inflight.pop(cell.key, None)
+            self._settle(cell)
             if cell.future.cancelled():
                 continue
             cell.future.set_result({"error": {
