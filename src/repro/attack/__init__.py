@@ -17,12 +17,21 @@ from .lower_bound import (
     lower_bound_ring,
     lower_bound_series,
 )
-from .worst_case import WorstCaseResult, search_worst_ring
+from .worst_case import (
+    WorstCaseResult,
+    scoped_rng,
+    search_worst_ring,
+    search_worst_ring_scoped,
+)
 from .exact_response import ExactBestResponse, exact_attacker_utility, exact_best_split
 from .combined import (
     CombinedBestResponse,
+    ComposedAttack,
     best_combined_split,
+    best_misreport_split,
     combined_attacker_utility,
+    misreport_then_cut,
+    misreport_then_split,
 )
 from .multi_split import (
     MultiBestResponse,
@@ -63,6 +72,8 @@ __all__ = [
     "lower_bound_series",
     "WorstCaseResult",
     "search_worst_ring",
+    "scoped_rng",
+    "search_worst_ring_scoped",
     "ExactBestResponse",
     "exact_attacker_utility",
     "exact_best_split",
@@ -80,4 +91,8 @@ __all__ = [
     "CombinedBestResponse",
     "best_combined_split",
     "combined_attacker_utility",
+    "ComposedAttack",
+    "misreport_then_split",
+    "misreport_then_cut",
+    "best_misreport_split",
 ]

@@ -23,10 +23,20 @@ import numpy as np
 
 from ..core import bd_allocation
 from ..exceptions import AttackError
-from ..graphs import WeightedGraph, cut_ring_at, require_ring
-from ..numeric import Backend, FLOAT
+from ..graphs import WeightedGraph, cut_index_map, cut_ring_at, require_ring
+from ..numeric import Backend, FLOAT, Scalar
+from .misreport import report_weight
+from .multi_split import split_multi
 
-__all__ = ["CombinedBestResponse", "combined_attacker_utility", "best_combined_split"]
+__all__ = [
+    "CombinedBestResponse",
+    "combined_attacker_utility",
+    "best_combined_split",
+    "ComposedAttack",
+    "misreport_then_split",
+    "misreport_then_cut",
+    "best_misreport_split",
+]
 
 
 def combined_attacker_utility(
@@ -64,6 +74,141 @@ class CombinedBestResponse:
         """How much strictly under-reporting beats the Definition 7 optimum
         (0 when the diagonal is optimal)."""
         return max(0.0, self.utility - self.diagonal_utility)
+
+
+@dataclass(frozen=True)
+class ComposedAttack:
+    """One solved misreport-then-Sybil composition, with its index map.
+
+    The composition first replaces ``v``'s weight by its report ``x``
+    (:func:`repro.attack.misreport.report_weight`), then splits the
+    reporting vertex into ``k`` identities.  The post-attack instance does
+    **not** preserve vertex indices in general: a ring cut relabels every
+    bystander, and a k-way ``split_multi`` mints ``k - 1`` fresh ids next
+    to the reused one.  ``index_map`` is therefore the only sanctioned way
+    to read a surviving original vertex's utility off ``allocation-like``
+    data of ``graph`` -- reading by original index is exactly the stale-map
+    bug this type exists to make impossible.  ``utility`` already sums the
+    allocation over **all** ``copies`` (not just the identity that kept
+    ``v``'s id, which under-counts every k > 2 attack).
+    """
+
+    graph: WeightedGraph
+    vertex: int
+    report: Scalar
+    copies: tuple[int, ...]
+    index_map: dict[int, int]
+    utility: Scalar
+    utilities: dict[int, Scalar]
+
+    def utility_of(self, u: int) -> Scalar:
+        """Post-attack utility of original vertex ``u`` (the attacker's
+        identities are aggregated under ``u == vertex``)."""
+        if u == self.vertex:
+            return self.utility
+        return self.utilities[u]
+
+
+def misreport_then_split(
+    g: WeightedGraph,
+    v: int,
+    x: Scalar,
+    groups,
+    weights,
+    backend: Backend = FLOAT,
+) -> ComposedAttack:
+    """Compose a weight report ``x <= w_v`` with a k-way Sybil split.
+
+    ``groups`` partitions ``Gamma(v)`` into ``k`` nonempty parts and
+    ``weights`` (summing to ``x``) endows the ``k`` identities -- the
+    Definition 7 constraint applied to the *reported* weight.  Works on any
+    graph; ``split_multi`` keeps bystander ids, so here the index map is
+    the identity on survivors, while the attacker maps to ``copies``
+    ``[v, n, n+1, ...]`` whose utilities are all folded into ``utility``.
+    """
+    reported = report_weight(g, v, x, backend)
+    ms = split_multi(reported, v, groups, weights, backend)
+    alloc = bd_allocation(ms.graph, backend=backend)
+    index_map = {u: u for u in g.vertices() if u != v}
+    utilities = {u: alloc.utilities[u] for u in index_map}
+    return ComposedAttack(
+        graph=ms.graph, vertex=v, report=backend.scalar(x), copies=ms.copies,
+        index_map=index_map, utility=ms.utility, utilities=utilities,
+    )
+
+
+def misreport_then_cut(
+    g: WeightedGraph,
+    v: int,
+    x: Scalar,
+    w1: Scalar,
+    w2: Scalar,
+    backend: Backend = FLOAT,
+) -> ComposedAttack:
+    """Ring specialisation: report ``x``, then cut the ring at ``v``.
+
+    ``w1 + w2`` must equal the report ``x``.  Unlike
+    :func:`misreport_then_split`, the cut *relabels every honest vertex*
+    (see :func:`repro.graphs.cut_index_map`), so the returned
+    ``index_map`` is non-trivial -- coalition evaluations that read a
+    partner's post-attack utility must go through it.
+    """
+    require_ring(g)
+    xs = backend.scalar(x)
+    ws1, ws2 = backend.scalar(w1), backend.scalar(w2)
+    total = ws1 + ws2
+    ok = (total == xs) if backend.is_exact else (
+        abs(float(total) - float(xs)) <= backend.tol * max(1.0, float(xs)))
+    if not ok:
+        raise AttackError(f"split weights {w1!r} + {w2!r} must sum to the report {x!r}")
+    reported = report_weight(g, v, xs, backend)
+    p, v1, v2 = cut_ring_at(reported, v, ws1, ws2)
+    alloc = bd_allocation(p, backend=backend)
+    index_map = cut_index_map(g, v)
+    utilities = {u: alloc.utilities[pu] for u, pu in index_map.items()}
+    return ComposedAttack(
+        graph=p, vertex=v, report=xs, copies=(v1, v2),
+        index_map=index_map,
+        utility=alloc.utilities[v1] + alloc.utilities[v2],
+        utilities=utilities,
+    )
+
+
+def best_misreport_split(
+    g: WeightedGraph,
+    v: int,
+    m: int = 2,
+    x_steps: int = 6,
+    w_steps: int = 6,
+    backend: Backend = FLOAT,
+) -> ComposedAttack:
+    """Grid search over (report fraction) x (partition) x (weight simplex).
+
+    Small exhaustive search for the combined misreport-then-Sybil strategy
+    on general graphs; the simulator's ``combined`` role and the
+    differential tests use it on ``n <= 8`` instances.  Reports sweep
+    ``x = w_v * t/x_steps`` for ``t = 1..x_steps`` (a zero report on a
+    positive-weight vertex makes the outcome trivially dominated).
+    """
+    from .multi_split import _simplex_grid, set_partitions
+
+    if g.degree(v) < m:
+        raise AttackError(f"vertex {v} has degree {g.degree(v)} < m = {m}")
+    wv = float(g.weights[v])
+    if wv == 0:
+        return misreport_then_split(
+            g, v, 0, [sorted(g.neighbors(v))], [0], backend)
+    best: ComposedAttack | None = None
+    nbrs = sorted(g.neighbors(v))
+    for t in range(1, max(1, x_steps) + 1):
+        x = wv * t / x_steps
+        for groups in set_partitions(nbrs, m):
+            for ws in _simplex_grid(x, m, w_steps):
+                cand = misreport_then_split(g, v, x, groups, list(ws), backend)
+                if best is None or cand.utility > best.utility:
+                    best = cand
+    assert best is not None
+    return best
 
 
 def best_combined_split(

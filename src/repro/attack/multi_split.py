@@ -181,7 +181,10 @@ def best_multi_split(
     """
     if g.degree(v) < m:
         raise AttackError(f"vertex {v} has degree {g.degree(v)} < m = {m}")
-    wv = float(g.weights[v])
+    # Backend arithmetic keeps the lattice exact: on the Fraction backend
+    # `wv * k / steps` sums back to w_v identically, which split_multi's
+    # exact-equality budget check requires (float lattices don't).
+    wv = backend.scalar(g.weights[v])
     honest = float(bd_allocation(g, backend=backend).utilities[v])
     best = MultiBestResponse(
         vertex=v, m=m, groups=(), weights=(), utility=honest,

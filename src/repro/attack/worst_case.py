@@ -26,7 +26,12 @@ from ..numeric import Backend, FLOAT
 from .best_response import BestResponse
 from .incentive_ratio import incentive_ratio
 
-__all__ = ["WorstCaseResult", "search_worst_ring"]
+__all__ = [
+    "WorstCaseResult",
+    "search_worst_ring",
+    "scoped_rng",
+    "search_worst_ring_scoped",
+]
 
 
 @dataclass(frozen=True)
@@ -40,6 +45,39 @@ class WorstCaseResult:
     @property
     def zeta(self) -> float:
         return self.response.ratio
+
+
+def scoped_rng(seed: int, epoch: int = 0, agent: int = 0) -> np.random.Generator:
+    """Per-call generator derived from the ``(seed, epoch, agent)`` scope.
+
+    Callers used to re-seed ``default_rng(seed)`` at every search, so two
+    searches inside one scenario epoch drew *identical* candidate streams
+    -- the restarts of agent 1's search replayed agent 0's rings, silently
+    halving the explored instance space.  Deriving the stream through a
+    ``SeedSequence`` over the full scope makes every (epoch, agent) cell
+    statistically independent while staying a pure function of the scope,
+    the same per-cell discipline as :func:`repro.analysis.sweep.cell_rng`.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed), int(epoch), int(agent)])
+    )
+
+
+def search_worst_ring_scoped(
+    n: int,
+    seed: int,
+    epoch: int = 0,
+    agent: int = 0,
+    **kwargs,
+) -> WorstCaseResult:
+    """:func:`search_worst_ring` with the RNG derived from its scope.
+
+    The entry point scenario code should use: passing ``(seed, epoch,
+    agent)`` instead of a shared generator keeps concurrent searches
+    deterministic *and* distinct (see :func:`scoped_rng`).  Remaining
+    keyword arguments forward to :func:`search_worst_ring`.
+    """
+    return search_worst_ring(n, scoped_rng(seed, epoch, agent), **kwargs)
 
 
 def search_worst_ring(

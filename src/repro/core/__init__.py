@@ -20,7 +20,11 @@ from .allocation import (
     certified_endpoint_utilities,
     endpoint_utilities,
 )
-from .incremental import reconstruct_decomposition
+from .incremental import (
+    reconstruct_decomposition,
+    topology_fingerprint,
+    warm_decomposition,
+)
 from .utilities import closed_form_utilities, closed_form_utility
 from .dynamics import DynamicsResult, dynamics_utilities, proportional_response
 from .fixedpoint import FixedPointReport, assert_fixed_point, fixed_point_residual
@@ -45,6 +49,8 @@ __all__ = [
     "certified_endpoint_utilities",
     "endpoint_utilities",
     "reconstruct_decomposition",
+    "topology_fingerprint",
+    "warm_decomposition",
     "closed_form_utilities",
     "closed_form_utility",
     "DynamicsResult",

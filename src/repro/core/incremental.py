@@ -42,13 +42,34 @@ deliberately see full-fidelity solves.
 
 from __future__ import annotations
 
-from ..engine import EngineContext, resolve_context
-from ..exceptions import DecompositionError
+from ..engine import EngineContext, decomposition_key, resolve_context
+from ..exceptions import AllocationError, DecompositionError, InfeasibleFlowError
 from ..graphs import WeightedGraph
 from ..numeric import Backend
-from .bottleneck import BottleneckDecomposition, BottleneckPair
+from .bottleneck import BottleneckDecomposition, BottleneckPair, bottleneck_decomposition
 
-__all__ = ["reconstruct_decomposition"]
+__all__ = [
+    "reconstruct_decomposition",
+    "topology_fingerprint",
+    "warm_decomposition",
+]
+
+
+def topology_fingerprint(g: WeightedGraph) -> tuple[int, tuple[tuple[int, int], ...]]:
+    """Weight-free structural identity of ``g``: vertex count + edge set.
+
+    Two instances share a fingerprint iff they have the same vertex ids
+    wired the same way -- the precondition for any cross-instance
+    decomposition reuse.  A churn epoch that resizes the ring changes the
+    fingerprint even though both instances "are rings", which is exactly
+    the silent-reuse hazard the guard below exists for: a hint whose vertex
+    ids mean different agents can pass every structural check in
+    :func:`reconstruct_decomposition` and come back *wrong*, not invalid.
+    """
+    return (
+        g.n,
+        tuple(sorted((a, b) if a < b else (b, a) for a, b in g.edges)),
+    )
 
 
 def reconstruct_decomposition(
@@ -60,8 +81,11 @@ def reconstruct_decomposition(
     """Rebuild ``hint``'s combinatorial structure on ``g``'s weights.
 
     ``hint`` must decompose an instance with the same vertex ids and
-    topology as ``g`` (the caller guarantees this; the typical source is a
-    neighboring point of the same weight-parameter segment).  Alphas are
+    topology as ``g`` -- enforced by an explicit
+    :func:`topology_fingerprint` comparison, since a cross-topology hint
+    can pass every structural check below yet describe a decomposition
+    that is not ``g``'s (the typical valid source is a neighboring point
+    of the same weight-parameter segment).  Alphas are
     recomputed from scratch on ``g`` -- deliberately via the same set
     constructions and accumulation order as the Dinkelbach stage loop, so
     that when the hint's structure *is* ``g``'s true structure the result
@@ -75,6 +99,19 @@ def reconstruct_decomposition(
     """
     ctx = resolve_context(ctx)
     backend = ctx.resolve_backend(backend)
+    if (hint.graph.n == g.n
+            and topology_fingerprint(hint.graph) != topology_fingerprint(g)):
+        # Hard guard for the one mismatch the structural checks below are
+        # blind to: same vertex count, different wiring.  Such a hint can
+        # satisfy every check (partition, alphas increasing and <= 1,
+        # coverage) while describing a decomposition that is simply not
+        # g's -- silent wrongness, the worst failure mode.  Size mismatches
+        # are deliberately left to the structural checks, which diagnose
+        # them precisely (surplus pairs / uncovered vertices).
+        raise DecompositionError(
+            f"hint decomposes a different topology (same n={g.n}, "
+            "different edge set); refusing cross-topology reconstruction"
+        )
 
     pairs: list[BottleneckPair] = []
     active = sorted(g.vertices())
@@ -126,4 +163,64 @@ def reconstruct_decomposition(
         raise DecompositionError("hint pairs do not cover the graph")
     decomp = BottleneckDecomposition(g, pairs, backend)
     ctx.counters.decomp_reconstructions += 1
+    return decomp
+
+
+def warm_decomposition(
+    g: WeightedGraph,
+    hint: BottleneckDecomposition | None,
+    backend: Backend | None = None,
+    ctx: EngineContext | None = None,
+) -> BottleneckDecomposition:
+    """Topology-guarded decomposition with cross-instance warm reuse.
+
+    The entry point for callers that hold a decomposition of a *previous*
+    instance of an evolving family -- the simulator's adaptive adversaries
+    re-solving a churning ring epoch after epoch.  Behavior:
+
+    * ``hint`` is ``None``, its topology fingerprint differs from ``g``'s
+      (a churn epoch resized the ring -- counted as
+      ``warm_hint_invalidations``), or an auditor is attached (audit
+      layers see full-fidelity solves): full
+      :func:`~repro.core.bottleneck.bottleneck_decomposition`.
+    * same topology: reconstruct the hint's structure on ``g``'s weights,
+      then **certify** it through the allocation layer's saturation checks
+      before trusting or caching it.  Any failure (structural mismatch,
+      unsaturated Definition-5 network) falls back to a full solve --
+      counted as ``reconstruction_fallbacks`` -- never to a wrong answer.
+
+    A certified reconstruction is inserted into the context's
+    decomposition cache, so downstream code re-requesting the same
+    instance (e.g. a best-response search recomputing the honest utility)
+    hits the cache instead of paying the cold solve the reconstruction
+    saved.  Reuse never changes values: a matching structure reconstructs
+    bit-identically to a full solve, and a mismatch falls back to one.
+    """
+    ctx = resolve_context(ctx)
+    backend = ctx.resolve_backend(backend)
+    if hint is not None:
+        if topology_fingerprint(hint.graph) != topology_fingerprint(g):
+            ctx.counters.warm_hint_invalidations += 1
+            hint = None
+        elif ctx.auditor is not None:
+            hint = None
+    if hint is None:
+        return bottleneck_decomposition(g, backend, ctx)
+    key = decomposition_key(g, backend)
+    cached = ctx.cache.get(key)
+    if cached is not None:
+        ctx.counters.cache_hits += 1
+        return cached
+    try:
+        decomp = reconstruct_decomposition(g, hint, backend, ctx)
+        # Saturation certificate (Definition 5) for every reconstructed
+        # pair; lazy import keeps the bottleneck -> incremental ->
+        # allocation chain acyclic.
+        from .allocation import bd_allocation
+
+        bd_allocation(g, decomp, backend=backend, ctx=ctx)
+    except (DecompositionError, InfeasibleFlowError, AllocationError):
+        ctx.counters.reconstruction_fallbacks += 1
+        return bottleneck_decomposition(g, backend, ctx)
+    ctx.cache.put(key, decomp)
     return decomp

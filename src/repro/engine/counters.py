@@ -69,6 +69,11 @@ INT_COUNTER_FIELDS = (
     "serve_journal_replayed",
     "serve_snapshot_saves",
     "serve_snapshot_restored",
+    "warm_hint_invalidations",
+    "sim_epochs",
+    "sim_attacks",
+    "sim_churn_events",
+    "sim_zeta_violations",
 )
 
 
@@ -163,6 +168,18 @@ class Counters:
     serve_journal_replayed: int = 0
     serve_snapshot_saves: int = 0
     serve_snapshot_restored: int = 0
+    #: Cross-instance warm reuse (see repro.core.incremental
+    #: ``warm_decomposition``): hints discarded by the topology-fingerprint
+    #: guard instead of reused against a churn-resized instance.
+    warm_hint_invalidations: int = 0
+    #: Simulator family (see repro.sim): epochs advanced, adversary
+    #: best-response cells evaluated, churn events applied to the
+    #: population, and empirical ratios observed above 2 + slack (each of
+    #: which also files a corpus record).
+    sim_epochs: int = 0
+    sim_attacks: int = 0
+    sim_churn_events: int = 0
+    sim_zeta_violations: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: Open ``timed`` depth per phase label.  Bookkeeping only -- excluded
     #: from snapshots, merges, and resets -- so that re-entering an

@@ -22,6 +22,7 @@ __all__ = [
     "AttackError",
     "EngineError",
     "ExperimentError",
+    "SimError",
     "AuditError",
     "CorpusError",
     "RuntimeSupervisionError",
@@ -150,6 +151,17 @@ class EngineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment failed internally."""
+
+
+class SimError(ReproError):
+    """A population scenario is ill-posed or a simulation run failed.
+
+    Raised by :mod:`repro.sim` for invalid scenario parameters (unknown
+    strategy names, infeasible population bounds) and for runner-level
+    misuse; attack/engine failures inside a simulation keep their own
+    typed classes so the runtime supervisor's retry/escalation rules see
+    them unchanged.
+    """
 
 
 class AuditError(ReproError):

@@ -28,6 +28,10 @@ from . import (
     general_conjecture,
     multi_identity,
     spectral_rates,
+    sim_s1,
+    sim_s2,
+    sim_s3,
+    sim_s4,
     fig2_alpha_curves,
     fig3_pair_dynamics,
     fig4_initial_forms,
@@ -59,6 +63,10 @@ EXPERIMENTS = {
         multi_identity,
         spectral_rates,
         combined_attack,
+        sim_s1,
+        sim_s2,
+        sim_s3,
+        sim_s4,
     )
 }
 

@@ -1,0 +1,25 @@
+"""EXP-S2: colluding neighbor coalitions.
+
+Two adversaries coordinate: one under-reports its weight on a grid while
+its partner Sybil-splits the ring, and the pair maximizes *joint* utility
+(the partner's post-cut utility read through the relabelling index map).
+Theorem 8 says nothing about coalitions; empirically the joint ratio has
+stayed within the solo bound, and this experiment keeps that observation
+under regression as the population churns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine import EngineContext
+from .base import ExperimentOutput
+from .sim_family import run_family
+
+EXP_ID = "EXP-S2"
+TITLE = "Population sim: colluding misreport + split coalitions"
+
+
+def run(seed: int = 0, scale: str = "default",
+        ctx: Optional[EngineContext] = None) -> ExperimentOutput:
+    return run_family(EXP_ID, TITLE, seed, scale, ctx)

@@ -1,0 +1,25 @@
+"""EXP-S3: composed misreport-then-Sybil attacks next to a pure misreporter.
+
+One adversary composes the two attack primitives -- report ``x < w_v``,
+then split the reported weight across fictitious identities
+(:mod:`repro.attack.combined`); the other only under-reports (which
+Theorem 10 proves can never profit).  The experiment checks both stay
+within ``2 + slack`` on every churned epoch ring, extending the EXP-CMB
+ablation from one static instance to a population trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine import EngineContext
+from .base import ExperimentOutput
+from .sim_family import run_family
+
+EXP_ID = "EXP-S3"
+TITLE = "Population sim: misreport-then-Sybil compositions"
+
+
+def run(seed: int = 0, scale: str = "default",
+        ctx: Optional[EngineContext] = None) -> ExperimentOutput:
+    return run_family(EXP_ID, TITLE, seed, scale, ctx)

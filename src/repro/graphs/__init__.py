@@ -25,6 +25,7 @@ from .rings import (
     ring_neighbors,
     path_order,
     path_endpoints,
+    cut_index_map,
     cut_ring_at,
     honest_ids_after_cut,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "ring_neighbors",
     "path_order",
     "path_endpoints",
+    "cut_index_map",
     "cut_ring_at",
     "honest_ids_after_cut",
     "require_positive_weights",

@@ -20,6 +20,7 @@ __all__ = [
     "path_order",
     "path_endpoints",
     "cut_ring_at",
+    "cut_index_map",
     "honest_ids_after_cut",
 ]
 
@@ -117,6 +118,31 @@ def cut_ring_at(g: WeightedGraph, v: int, w1, w2) -> tuple[WeightedGraph, int, i
     )
     edges = [(i, i + 1) for i in range(n)]
     return WeightedGraph(n + 1, edges, weights, labels), 0, n
+
+
+def cut_index_map(g: WeightedGraph, v: int) -> dict[int, int]:
+    """Original-id -> path-id map for the path of :func:`cut_ring_at`.
+
+    ``cut_ring_at`` relabels every honest vertex: the interior of the
+    returned path is the ring order from ``v``'s smaller-id neighbor, so
+    original id ``u`` generally does *not* keep its index.  Any caller that
+    reads a bystander's utility off the post-split allocation must
+    translate through this map; indexing the path by original ids silently
+    reads some other vertex's utility (the stale-index bug the composed
+    attacks in :mod:`repro.attack.combined` regression-test against).
+
+    ``v`` itself is absent from the map -- it becomes the two endpoints
+    ``0`` and ``n`` of the path.
+    """
+    if not g.is_ring():
+        raise GraphError("cut_index_map requires a ring graph")
+    u_a, _u_b = ring_neighbors(g, v)
+    # Must mirror cut_ring_at's ordering exactly: ring order starting at v
+    # heading toward the smaller-id neighbor first.
+    order = ring_order(g, start=v)
+    if order[1] != u_a:
+        order = [v] + order[1:][::-1]
+    return {u: i for i, u in enumerate(order[1:], start=1)}
 
 
 def honest_ids_after_cut(n: int) -> list[int]:

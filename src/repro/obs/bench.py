@@ -207,6 +207,33 @@ def _experiment_case(exp_id: str, scale: str = "smoke") -> Callable[[], Callable
     return setup
 
 
+def _sim_epoch_case(n: int, epochs: int = 3) -> Callable[[], Callable]:
+    """One adaptive swap-churn scenario run serially.
+
+    The scenario is EXP-S4's regime at size ``n``: constant ring size,
+    rotating membership, narrow weight range -- the configuration where
+    consecutive epochs reconstruct the previous decomposition instead of
+    re-solving.  The warm-hint store is reset every round so each
+    measurement performs identical work regardless of round count."""
+
+    def setup() -> Callable[[EngineContext], object]:
+        from ..sim import Scenario, reset_warm_store, run_scenario
+
+        scenario = Scenario(
+            name="bench-sim", strategies=("adaptive",), adversaries=2,
+            n0=n, n_min=max(3, n - 2), n_max=n + 2, epochs=epochs,
+            churn_rate=1.0, swap_churn=True, w_lo=0.5, w_hi=2.0, grid=12,
+        )
+
+        def run(ctx: EngineContext):
+            reset_warm_store()
+            return run_scenario(scenario, ctx=ctx, processes=0)
+
+        return run
+
+    return setup
+
+
 #: The benchmark suite, in reporting order.  Names are stable identifiers:
 #: renaming one orphans its baseline entry, so extend rather than rename.
 BENCH_SUITE: tuple[BenchCase, ...] = (
@@ -229,6 +256,8 @@ BENCH_SUITE: tuple[BenchCase, ...] = (
     # Appended (never reordered: names are the baseline join key).
     BenchCase("best_response_warm_n12", "attack", _best_response_warm_case(12)),
     BenchCase("dynamics_vectorized_n128", "core", _dynamics_case(128)),
+    BenchCase("sim_epoch_n12", "sim", _sim_epoch_case(12)),
+    BenchCase("experiment_EXP-S1_smoke", "experiment", _experiment_case("EXP-S1")),
 )
 
 

@@ -32,6 +32,7 @@ from .checkpoint import (
     CheckpointJournal,
     decode_value,
     encode_value,
+    fingerprint_of,
     open_journal,
     read_journal,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "open_journal",
     "encode_value",
     "decode_value",
+    "fingerprint_of",
     "CHECKPOINT_FORMAT",
     "read_journal",
     "FaultRule",

@@ -18,6 +18,7 @@ write at kill time) is detected and ignored.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import numbers
 import os
@@ -28,10 +29,47 @@ from typing import Callable, Iterator, Optional
 from ..exceptions import CheckpointError
 
 __all__ = ["CHECKPOINT_FORMAT", "CheckpointJournal", "encode_value",
-           "decode_value", "open_journal", "read_journal"]
+           "decode_value", "fingerprint_of", "open_journal", "read_journal"]
 
 #: Journal format version; bump on incompatible schema changes.
 CHECKPOINT_FORMAT = 1
+
+
+def fingerprint_of(**fields) -> str:
+    """Canonical journal fingerprint built from named fields.
+
+    Folds every ``key=value`` pair (sorted by key, ``repr``-encoded) into
+    one short content hash.  Producers must pass **every input that
+    determines cell values** -- and nothing else.  The historical trap
+    this helper exists to close: the simulator's journals once fingerprinted
+    the instance stream (seed, sizes, weights) but not the *adversary
+    strategy mix*, so resuming an EXP-S sweep with a different strategy
+    set silently replayed stale cells computed under the old strategies.
+    Fold the discriminator in (``strategies=...``) and the resume trips
+    :class:`~repro.exceptions.CheckpointError` instead.
+
+    Values must have deterministic ``repr``s (numbers, strings, bools,
+    None, and tuples/lists/dicts thereof); floats are folded as hex so two
+    values that differ by one ulp never collide.
+    """
+    h = hashlib.sha256()
+    for key in sorted(fields):
+        h.update(f"{key}=".encode())
+        h.update(_fingerprint_repr(fields[key]).encode())
+        h.update(b";")
+    return h.hexdigest()[:16]
+
+
+def _fingerprint_repr(value) -> str:
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_fingerprint_repr(v) for v in value) + "]"
+    if isinstance(value, dict):
+        return "{" + ",".join(
+            f"{k!r}:{_fingerprint_repr(v)}" for k, v in sorted(value.items())
+        ) + "}"
+    return repr(value)
 
 
 def encode_value(value):

@@ -1,0 +1,49 @@
+"""Adversarial population simulator (the EXP-S experiment family).
+
+Seeded, epoch-based multi-agent simulation over the paper's rings: a
+population of agents joins and leaves a ring over epochs under a churn
+schedule while a fixed set of adversaries plays per-scenario strategies
+-- solo Sybil splits, misreport-then-Sybil compositions, colluding
+neighbor coalitions, and adaptive best responders that warm-start each
+epoch's solve from the previous epoch's decomposition.  Every epoch
+records the empirical per-agent incentive ratio; anything above the
+Theorem 8 bound (plus float slack) files a shrunken failure-corpus
+record for oracle replay.
+
+Layering: ``scenario`` (declarative presets) -> ``schedule`` (seeded
+churn stream) -> ``population`` (membership and the epoch ring) ->
+``coalition`` (strategy evaluators) -> ``runner`` (epoch executor with
+serial/parallel/supervised paths and checkpoint resume) -> ``cli``
+(``repro-sim``).
+"""
+
+from .coalition import AttackOutcome, evaluate_strategy
+from .population import Agent, Population
+from .runner import (
+    EpochReport,
+    SimResult,
+    reset_warm_store,
+    run_scenario,
+    scenario_fingerprint,
+)
+from .scenario import SCENARIOS, STRATEGIES, Scenario, resolve_scenario
+from .schedule import ChurnEvent, ChurnSchedule, sim_rng
+
+__all__ = [
+    "Agent",
+    "AttackOutcome",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "EpochReport",
+    "Population",
+    "SCENARIOS",
+    "STRATEGIES",
+    "Scenario",
+    "SimResult",
+    "evaluate_strategy",
+    "reset_warm_store",
+    "resolve_scenario",
+    "run_scenario",
+    "scenario_fingerprint",
+    "sim_rng",
+]

@@ -1,0 +1,127 @@
+"""The agent population and its epoch ring.
+
+A :class:`Population` is an ordered list of agents; the ring instance of
+an epoch places them on a cycle in insertion order (joins append at the
+"end" of the ring, next to agent 0 -- a deterministic convention, so the
+epoch graph is a pure function of the membership history).  Agent ids are
+*persistent* across epochs while ring vertex indices are positional and
+reshuffle whenever membership changes -- precisely the id/index seam the
+checkpoint keys and attack index maps have to be careful about, so the
+translation lives here and nowhere else.
+
+Role assignment follows the gasper-attack convention: the first
+``adversaries`` agents of the initial population are the adversarial ones
+(``is_adversarial(i) = i < F``), with strategies cycling the scenario's
+mix; joins are always honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import SimError
+from ..graphs import WeightedGraph, ring
+from .schedule import ChurnEvent, sim_rng
+
+__all__ = ["Agent", "Population"]
+
+_TAG_INIT = 0
+
+
+@dataclass(frozen=True)
+class Agent:
+    """One participant; ``strategy`` is ``None`` for honest agents."""
+
+    agent_id: int
+    weight: float
+    strategy: Optional[str] = None
+
+    @property
+    def adversarial(self) -> bool:
+        return self.strategy is not None
+
+
+class Population:
+    """Ordered agent set; immutable-by-convention (``apply`` returns new)."""
+
+    def __init__(self, agents: list[Agent], next_id: int) -> None:
+        self.agents: tuple[Agent, ...] = tuple(agents)
+        self.next_id = next_id
+        ids = [a.agent_id for a in self.agents]
+        if len(set(ids)) != len(ids):
+            raise SimError(f"duplicate agent ids in population: {ids}")
+
+    @classmethod
+    def initial(cls, scenario) -> "Population":
+        """The epoch-0 population: ``n0`` agents, first ``adversaries`` of
+        them adversarial, weights drawn from the scenario distribution."""
+        from .schedule import ChurnSchedule
+
+        sched = ChurnSchedule(scenario)
+        rng = sim_rng(scenario.seed, _TAG_INIT)
+        agents = []
+        for i in range(scenario.n0):
+            strategy = (
+                scenario.strategy_of(i) if i < scenario.adversaries else None
+            )
+            agents.append(Agent(agent_id=i, weight=sched.draw_weight(rng),
+                                strategy=strategy))
+        return cls(agents, next_id=scenario.n0)
+
+    # -- membership -------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.agents)
+
+    def honest_ids(self) -> list[int]:
+        return [a.agent_id for a in self.agents if not a.adversarial]
+
+    def adversaries(self) -> list[tuple[int, Agent]]:
+        """``(vertex_index, agent)`` for every adversary, in ring order."""
+        return [(i, a) for i, a in enumerate(self.agents) if a.adversarial]
+
+    def vertex_of(self, agent_id: int) -> int:
+        for i, a in enumerate(self.agents):
+            if a.agent_id == agent_id:
+                return i
+        raise SimError(f"agent {agent_id} is not in the population")
+
+    def apply(self, event: ChurnEvent) -> "Population":
+        """The population after one churn event (leaves, then joins)."""
+        leaving = set(event.leaves)
+        unknown = leaving - {a.agent_id for a in self.agents}
+        if unknown:
+            raise SimError(f"churn removes unknown agents {sorted(unknown)}")
+        adversarial_leavers = [
+            a.agent_id for a in self.agents
+            if a.agent_id in leaving and a.adversarial
+        ]
+        if adversarial_leavers:
+            raise SimError(
+                f"adversaries {adversarial_leavers} cannot leave "
+                "(roles persist for the scenario lifetime)"
+            )
+        agents = [a for a in self.agents if a.agent_id not in leaving]
+        next_id = self.next_id
+        for agent_id, weight in event.joins:
+            if agent_id != next_id:
+                raise SimError(
+                    f"join id {agent_id} is not the next fresh id {next_id}"
+                )
+            agents.append(Agent(agent_id=agent_id, weight=float(weight)))
+            next_id += 1
+        return Population(agents, next_id=next_id)
+
+    # -- the epoch instance ----------------------------------------------
+    def ring(self) -> tuple[WeightedGraph, tuple[int, ...]]:
+        """The epoch's ring instance plus the vertex -> agent-id map.
+
+        Vertex ``i`` of the ring is ``self.agents[i]``; the returned tuple
+        maps ring indices back to persistent agent ids.
+        """
+        if self.n < 3:
+            raise SimError(f"population of {self.n} cannot form a ring")
+        g = ring([a.weight for a in self.agents],
+                 labels=[f"a{a.agent_id}" for a in self.agents])
+        return g, tuple(a.agent_id for a in self.agents)

@@ -1,0 +1,119 @@
+"""Regression tests for the misreport-then-Sybil composition.
+
+The historical bug: composing ``attack.misreport`` with a k-way Sybil
+split read post-attack utilities through the *pre-attack* index map.  A
+ring cut relabels every bystander and a k > 2 ``split_multi`` mints fresh
+ids, so the stale map under-counted the attacker (only the identity that
+kept ``v``'s id) and mis-attributed bystander utilities.  These tests pin
+the composed results against hand-built brute-force instances on n <= 6
+and keep a canary on the exact stale read.
+"""
+
+import pytest
+
+from repro.attack import (
+    best_misreport_split,
+    misreport_then_cut,
+    misreport_then_split,
+)
+from repro.attack.misreport import report_weight
+from repro.attack.multi_split import _simplex_grid, set_partitions, split_multi
+from repro.core import bd_allocation
+from repro.exceptions import AttackError
+from repro.graphs import cut_index_map, cut_ring_at, ring, ring_order, star
+
+
+def test_cut_composition_matches_hand_built_instance():
+    # Differential against a by-hand construction: report, cut, decompose,
+    # and read every vertex off the relabelled path explicitly.
+    g = ring([4.0, 1.0, 2.0, 3.0, 5.0, 0.5])
+    v, x = 2, 1.5
+    atk = misreport_then_cut(g, v, x, 0.5, 1.0)
+
+    reported = report_weight(g, v, x)
+    p, v1, v2 = cut_ring_at(reported, v, 0.5, 1.0)
+    alloc = bd_allocation(p)
+    assert atk.utility == alloc.utilities[v1] + alloc.utilities[v2]
+
+    # the relabelled layout: interior path ids follow the ring order from
+    # v's smaller-id neighbor
+    order = ring_order(g, start=v)
+    if order[1] != min(u for u in g.neighbors(v)):
+        order = [v] + order[1:][::-1]
+    for path_id, u in enumerate(order[1:], start=1):
+        assert atk.index_map[u] == path_id
+        assert atk.utility_of(u) == alloc.utilities[path_id]
+
+
+def test_cut_composition_stale_index_read_differs():
+    # Canary: on this instance at least one bystander's utility under the
+    # *stale* (identity) map differs from the mapped read.  If relabelling
+    # ever becomes a no-op this canary goes off and the maps can be
+    # simplified away.
+    g = ring([4.0, 1.0, 2.0, 3.0, 5.0, 0.5])
+    atk = misreport_then_cut(g, 2, 1.5, 0.5, 1.0)
+    alloc = bd_allocation(atk.graph)
+    stale = {u: float(alloc.utilities[u]) for u in atk.index_map}
+    mapped = {u: float(atk.utility_of(u)) for u in atk.index_map}
+    assert stale != mapped
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_split_composition_sums_all_copies(k):
+    # On a star the hub has degree >= k, so k-way compositions exist; the
+    # attacker utility must equal the sum over ALL k identities, not the
+    # single reused id (the k > 2 under-count this test regression-pins).
+    g = star(3.0, [1.0, 1.0, 1.0])  # hub 0, leaves 1..3
+    hub, x = 0, 1.5
+    groups = [[u] for u in sorted(g.neighbors(hub))][:k]
+    if k == 2:
+        groups = [[1], [2, 3]]
+    weights = [x / k] * k
+    atk = misreport_then_split(g, hub, x, groups, weights)
+
+    reported = report_weight(g, hub, x)
+    ms = split_multi(reported, hub, groups, weights)
+    alloc = bd_allocation(ms.graph)
+    expected = sum(alloc.utilities[c] for c in ms.copies)
+    assert atk.utility == expected
+    assert len(ms.copies) == k
+    # the stale single-copy read strictly under-counts here
+    assert float(alloc.utilities[hub]) < float(expected)
+
+
+def test_best_misreport_split_matches_bruteforce():
+    # Exhaustive differential on an n = 5 ring: re-run the same grid by
+    # hand and require the exact same optimum.
+    g = ring([2.0, 0.5, 1.0, 3.0, 1.5])
+    v, m, x_steps, w_steps = 0, 2, 4, 4
+    got = best_misreport_split(g, v, m=m, x_steps=x_steps, w_steps=w_steps)
+
+    wv = float(g.weights[v])
+    nbrs = sorted(g.neighbors(v))
+    best = None
+    for t in range(1, x_steps + 1):
+        x = wv * t / x_steps
+        for groups in set_partitions(nbrs, m):
+            for ws in _simplex_grid(x, m, w_steps):
+                atk = misreport_then_split(g, v, x, groups, list(ws))
+                if best is None or atk.utility > best.utility:
+                    best = atk
+    assert got.utility == best.utility
+    assert float(got.report) == float(best.report)
+
+
+def test_cut_composition_validates_weight_sum():
+    g = ring([4.0, 1.0, 2.0, 3.0])
+    with pytest.raises(AttackError, match="sum to the report"):
+        misreport_then_cut(g, 0, 2.0, 0.5, 1.0)
+
+
+def test_full_report_cut_matches_plain_split():
+    # x = w_v composes into a plain Definition 7 cut: same utility as the
+    # uncomposed attack.
+    from repro.attack import attacker_utility
+
+    g = ring([4.0, 1.0, 2.0, 3.0, 5.0])
+    v, w1 = 0, 1.25
+    atk = misreport_then_cut(g, v, 4.0, w1, 4.0 - w1)
+    assert float(atk.utility) == float(attacker_utility(g, v, w1, 4.0 - w1))

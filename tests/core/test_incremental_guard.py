@@ -1,0 +1,102 @@
+"""Regression tests for the warm-start topology guard.
+
+The historical bug: ``reconstruct_decomposition`` validated a hint only
+*structurally* (partition, coverage, ascending alphas), so a hint from a
+**different topology with the same vertex count** could pass every check
+and rebuild a decomposition that is simply not the target instance's --
+silent wrongness rather than a typed failure.  The fix is two-layered:
+a hard same-n/different-edges guard inside ``reconstruct_decomposition``,
+and a fingerprint *fallback* in ``warm_decomposition`` that quietly
+degrades any cross-topology hint to a full solve (counted under
+``warm_hint_invalidations``) instead of erroring an epoch.
+"""
+
+import pytest
+
+from repro.core import (
+    bottleneck_decomposition,
+    reconstruct_decomposition,
+    topology_fingerprint,
+    warm_decomposition,
+)
+from repro.engine import EngineContext
+from repro.exceptions import DecompositionError
+from repro.graphs import path, ring, star
+from repro.numeric import FLOAT
+
+
+def test_fingerprint_separates_same_n_topologies():
+    weights = [1.0, 2.0, 3.0, 4.0]
+    assert topology_fingerprint(ring(weights)) != topology_fingerprint(path(weights))
+    assert topology_fingerprint(ring(weights)) != topology_fingerprint(
+        star(1.0, [2.0, 3.0, 4.0]))
+    # weight changes do NOT change the fingerprint -- that's the point
+    assert topology_fingerprint(ring(weights)) == topology_fingerprint(
+        ring([9.0, 8.0, 7.0, 6.0]))
+
+
+def test_reconstruct_rejects_same_n_cross_topology_hint():
+    # Pre-fix this silently rebuilt a path decomposition "on" the ring:
+    # the hint's pairs partition the same vertex ids, so every structural
+    # check passes and nothing flags the borrowed structure as foreign.
+    weights = [1.0, 2.0, 3.0, 4.0]
+    hint = bottleneck_decomposition(path(weights), FLOAT)
+    with pytest.raises(DecompositionError, match="different topology"):
+        reconstruct_decomposition(ring(weights), hint, FLOAT)
+
+
+def test_warm_decomposition_falls_back_on_topology_mismatch():
+    ctx = EngineContext()
+    hint = bottleneck_decomposition(path([1.0, 2.0, 3.0]), FLOAT, ctx)
+    g = ring([1.0, 2.0, 3.0, 4.0])
+    before = ctx.counters.warm_hint_invalidations
+    got = warm_decomposition(g, hint, ctx=ctx)
+    assert ctx.counters.warm_hint_invalidations == before + 1
+    # the fallback is a genuine full solve, bit-identical to the direct one
+    want = bottleneck_decomposition(g, FLOAT, EngineContext())
+    assert [(p.B, p.C, repr(p.alpha)) for p in got.pairs] == \
+           [(p.B, p.C, repr(p.alpha)) for p in want.pairs]
+
+
+def test_warm_decomposition_reuses_matching_hint_bit_identically():
+    # Same topology, perturbed weights in a range that keeps the
+    # decomposition structure stable: the warm path must reconstruct
+    # (counted) rather than re-solve, and produce bit-identical pairs.
+    cold_ctx = EngineContext()
+    g0 = ring([1.0, 1.1, 0.9, 1.05, 0.95])
+    g1 = ring([1.0, 1.1, 0.9, 1.05, 1.0])
+    hint = bottleneck_decomposition(g0, FLOAT, cold_ctx)
+    want = bottleneck_decomposition(g1, FLOAT, EngineContext())
+
+    warm_ctx = EngineContext()
+    decomps_before = warm_ctx.counters.decompositions
+    got = warm_decomposition(g1, hint, ctx=warm_ctx)
+    assert warm_ctx.counters.decomp_reconstructions == 1
+    assert warm_ctx.counters.decompositions == decomps_before  # no full solve
+    assert [(p.B, p.C, repr(p.alpha)) for p in got.pairs] == \
+           [(p.B, p.C, repr(p.alpha)) for p in want.pairs]
+
+
+def test_warm_decomposition_caches_certified_reconstruction():
+    # The certified reconstruction must land in the context cache so the
+    # next plain bottleneck_decomposition call on the same instance is a
+    # hit -- this is what makes warm epochs strictly cheaper end to end.
+    g0 = ring([1.0, 1.1, 0.9, 1.05, 0.95])
+    g1 = ring([1.0, 1.1, 0.9, 1.05, 1.0])
+    hint = bottleneck_decomposition(g0, FLOAT, EngineContext())
+    ctx = EngineContext()
+    warm_decomposition(g1, hint, ctx=ctx)
+    hits = ctx.counters.cache_hits
+    bottleneck_decomposition(g1, FLOAT, ctx)
+    assert ctx.counters.cache_hits == hits + 1
+
+
+def test_warm_decomposition_none_hint_is_plain_solve():
+    ctx = EngineContext()
+    g = ring([1.0, 2.0, 3.0])
+    got = warm_decomposition(g, None, ctx=ctx)
+    assert ctx.counters.decompositions == 1
+    assert ctx.counters.warm_hint_invalidations == 0
+    want = bottleneck_decomposition(g, FLOAT, EngineContext())
+    assert [(p.B, p.C, repr(p.alpha)) for p in got.pairs] == \
+           [(p.B, p.C, repr(p.alpha)) for p in want.pairs]

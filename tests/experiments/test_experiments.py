@@ -16,6 +16,7 @@ def test_registry_contains_all_paper_artifacts():
         "EXP-F1", "EXP-F2", "EXP-F3", "EXP-F4",
         "EXP-T8", "EXP-LB", "EXP-BND", "EXP-CNV",
         "EXP-T10", "EXP-STG", "EXP-P12", "EXP-GEN", "EXP-MSP", "EXP-SPC", "EXP-CMB",
+        "EXP-S1", "EXP-S2", "EXP-S3", "EXP-S4",
     }
 
 

@@ -1,0 +1,66 @@
+"""Tests for the canonical journal-fingerprint helper.
+
+The historical bug this helper closes: producers hand-rolled their
+fingerprints and forgot fields -- most notably the simulator journals
+once omitted the adversary-strategy discriminator, so resuming an EXP-S
+checkpoint under a *different strategy mix* silently replayed cells
+computed under the old strategies.  ``fingerprint_of`` makes every named
+field part of the hash, floats bit-exactly.
+"""
+
+from repro.runtime import fingerprint_of
+
+
+def test_identical_fields_identical_fingerprint():
+    a = fingerprint_of(seed=0, strategies=("sybil", "multi"), zero_tol=0.0)
+    b = fingerprint_of(seed=0, strategies=("sybil", "multi"), zero_tol=0.0)
+    assert a == b
+    assert len(a) == 16
+
+
+def test_strategy_discriminator_changes_fingerprint():
+    base = fingerprint_of(seed=0, strategies=("sybil",))
+    assert fingerprint_of(seed=0, strategies=("misreport",)) != base
+    # order matters: adversary k plays strategies[k % len]
+    assert fingerprint_of(seed=0, strategies=("sybil", "multi")) != \
+        fingerprint_of(seed=0, strategies=("multi", "sybil"))
+
+
+def test_every_field_reaches_the_hash():
+    base = fingerprint_of(seed=0, epochs=4, churn=0.5)
+    assert fingerprint_of(seed=1, epochs=4, churn=0.5) != base
+    assert fingerprint_of(seed=0, epochs=5, churn=0.5) != base
+    assert fingerprint_of(seed=0, epochs=4, churn=0.25) != base
+
+
+def test_floats_fold_as_hex_one_ulp_apart():
+    import math
+
+    x = 0.1
+    y = math.nextafter(x, 1.0)
+    assert fingerprint_of(tol=x) != fingerprint_of(tol=y)
+
+
+def test_dict_fields_are_order_insensitive():
+    a = fingerprint_of(scenario={"name": "S1", "seed": 0})
+    b = fingerprint_of(scenario={"seed": 0, "name": "S1"})
+    assert a == b
+
+
+def test_type_distinctions_survive():
+    # repr-encoding keeps 1 vs "1" vs 1.0 apart (floats go to hex).
+    assert fingerprint_of(x=1) != fingerprint_of(x="1")
+    assert fingerprint_of(x=1) != fingerprint_of(x=1.0)
+
+
+def test_scenario_fingerprint_covers_the_discriminator():
+    # End-to-end: the simulator's journal fingerprint changes when only
+    # the strategy mix changes -- the exact stale-resume seam.
+    from dataclasses import replace
+
+    from repro.sim import resolve_scenario
+    from repro.sim.runner import scenario_fingerprint
+
+    s1 = resolve_scenario("EXP-S1")
+    s2 = replace(s1, strategies=("misreport",))
+    assert scenario_fingerprint(s1, None) != scenario_fingerprint(s2, None)

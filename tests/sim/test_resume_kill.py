@@ -1,0 +1,68 @@
+"""A genuine ``kill -9`` mid-epoch, then a journal resume.
+
+Subprocess harness in the style of
+``tests/runtime/test_crash_resume.py``: the child wraps the runner's
+``evaluate_strategy`` so the third attack cell SIGKILLs the process (once,
+gated on a flag file), then the resumed run must produce a result
+bit-identical to a never-interrupted baseline.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+_KILL_SCRIPT = textwrap.dedent("""
+    import json, os, signal, sys
+
+    import repro.sim.runner as runner
+    from repro.runtime import RuntimePolicy
+    from repro.sim import resolve_scenario, run_scenario
+
+    flag = sys.argv[1]
+    ckpt = None if sys.argv[2] == "-" else sys.argv[2]
+
+    calls = {"n": 0}
+    real = runner.evaluate_strategy
+
+    def lethal(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 3 and not os.path.exists(flag):
+            open(flag, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)  # mid-epoch hard kill
+        return real(*args, **kwargs)
+
+    runner.evaluate_strategy = lethal
+
+    scen = resolve_scenario("EXP-S1", seed=0, epochs=2)
+    result = run_scenario(scen, policy=RuntimePolicy(retries=1),
+                          checkpoint=ckpt)
+    print(json.dumps(result.to_dict(), sort_keys=True))
+""")
+
+
+def test_sim_survives_sigkill_and_resumes_bit_identically(tmp_path):
+    script = tmp_path / "killer.py"
+    script.write_text(_KILL_SCRIPT)
+    flag = str(tmp_path / "already-died")
+    ckpt = str(tmp_path / "sim.journal")
+    env = dict(os.environ, PYTHONPATH="src")
+
+    def run(checkpoint):
+        return subprocess.run([sys.executable, str(script), flag, checkpoint],
+                              capture_output=True, text=True, env=env,
+                              cwd="/root/repo")
+
+    first = run(ckpt)
+    assert first.returncode == -signal.SIGKILL  # it really died mid-epoch
+
+    resumed = run(ckpt)
+    assert resumed.returncode == 0, resumed.stderr
+
+    # The flag file exists now, so a journal-less rerun completes without
+    # the kill: the uninterrupted baseline.
+    baseline = run("-")
+    assert baseline.returncode == 0, baseline.stderr
+    assert json.loads(resumed.stdout) == json.loads(baseline.stdout)
